@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper.  The
+simulated workload sizes are kept modest so the whole suite completes in
+minutes; set ``REPRO_BENCH_JOINS`` (measured join completions per point) and
+``REPRO_BENCH_TIME_LIMIT`` (simulated-seconds cap per point) to increase
+fidelity.  The reproduced tables are printed and written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a reproduced figure/table and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def bench_joins(default: int) -> int:
+    """Measured joins per point for benchmarks (env-overridable)."""
+    try:
+        return max(5, int(os.environ.get("REPRO_BENCH_JOINS", default)))
+    except ValueError:
+        return default
+
+
+def bench_time_limit(default: float) -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture
+def report_writer():
+    return write_report

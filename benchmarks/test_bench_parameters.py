@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 4 — parameter table, and cost-model derived quantities."""
+
+from conftest import write_report
+
+from repro.config import SystemConfig
+from repro.experiments import render_parameter_table
+from repro.scheduling import CostModel
+from repro.workload import JoinQuery
+
+
+def _run():
+    table = render_parameter_table()
+    cost_model = CostModel(SystemConfig(num_pe=60))
+    derived = []
+    for selectivity, label in ((0.001, "0.1 %"), (0.01, "1 %"), (0.05, "5 %")):
+        query = JoinQuery(scan_selectivity=selectivity)
+        derived.append(
+            f"selectivity {label:>5}: psu-opt = {cost_model.psu_opt(query):3d}   "
+            f"psu-noIO = {cost_model.psu_no_io(query):3d}"
+        )
+    return table + "\n\nDerived degrees of parallelism (paper: 10/30/70 and 1/3/14):\n" + "\n".join(derived)
+
+
+def test_parameter_table_and_derived_degrees(benchmark):
+    text = benchmark.pedantic(_run, iterations=1, rounds=1)
+    write_report("figure4_parameters", text)
+    assert "20 MIPS" in text
+    assert "psu-noIO =   3" in text
+    assert "psu-noIO =  14" in text

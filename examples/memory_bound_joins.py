@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Memory-bound joins: when MORE parallelism is the right answer.
+
+The paper's Fig. 7 shows the counter-intuitive case: with small buffers and a
+single disk per PE for temporary files, the CPU is idle but memory and the
+temp disk are the bottleneck.  Here the right move is to RAISE the degree of
+join parallelism so the aggregate memory of the join processors holds the
+hash table -- exactly what the integrated MIN-IO-SUOPT strategy does, and what
+the CPU-oriented pmu-cpu policy misses.
+
+Run with:  python examples/memory_bound_joins.py
+"""
+
+from repro import SimulationDriver
+from repro.experiments.scenarios import memory_bound_config
+
+
+def main() -> None:
+    print("Memory-bound environment: 5 buffer pages per PE, 1 disk per PE\n")
+    print(f"{'#PE':>4} {'strategy':<14} {'rt [ms]':>9} {'degree':>7} {'overflow':>9} "
+          f"{'mem wait [ms]':>14} {'cpu':>5}")
+    print("-" * 70)
+    for num_pe in (20, 40, 80):
+        config = memory_bound_config(num_pe, arrival_rate_per_pe=0.05)
+        for strategy in ("pmu_cpu+LUM", "MIN-IO-SUOPT"):
+            driver = SimulationDriver(config, strategy=strategy)
+            result = driver.run_multi_user(measured_joins=25, max_simulated_time=90)
+            print(
+                f"{num_pe:>4} {strategy:<14} {result.join_response_time_ms:>9.1f} "
+                f"{result.average_degree:>7.1f} {result.average_overflow_pages:>9.1f} "
+                f"{result.average_memory_wait * 1e3:>14.1f} {result.cpu_utilization:>5.2f}"
+            )
+
+    print(
+        "\nMIN-IO-SUOPT increases the number of join processors with the system"
+        "\nsize (the paper reports an average degree of up to 42 at 80 PE) so that"
+        "\nthe aggregate working space still holds the inner relation, trading"
+        "\n(cheap) CPU parallelism for (expensive) temporary file I/O.  Short runs"
+        "\nare noisy; use the figure-7 benchmark for the full comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

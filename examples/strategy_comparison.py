@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Compare every load balancing strategy on a CPU-loaded 60-PE system.
+
+This reproduces, at reduced run length, the situation of the paper's Figs. 5
+and 6 at a fixed system size: a homogeneous parallel-join workload whose
+throughput requirement makes the CPU the critical resource, so that the
+choice of the degree of join parallelism and of the join processors decides
+the response time.
+
+Run with:  python examples/strategy_comparison.py [num_pe]
+"""
+
+import sys
+
+from repro import SimulationDriver, strategy_names
+from repro.experiments.scenarios import homogeneous_config
+
+
+def main() -> None:
+    num_pe = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    config = homogeneous_config(num_pe)
+    print(f"Comparing {len(strategy_names())} strategies on: {config.describe()}\n")
+    print(f"{'strategy':<18} {'rt [ms]':>9} {'p':>6} {'overflow':>9} {'cpu':>5} {'mem':>5}")
+    print("-" * 60)
+
+    rows = []
+    for name in strategy_names():
+        driver = SimulationDriver(config, strategy=name)
+        result = driver.run_multi_user(measured_joins=30, max_simulated_time=60)
+        rows.append((name, result))
+        print(
+            f"{name:<18} {result.join_response_time_ms:>9.1f} {result.average_degree:>6.1f} "
+            f"{result.average_overflow_pages:>9.1f} {result.cpu_utilization:>5.2f} "
+            f"{result.memory_utilization:>5.2f}"
+        )
+
+    best = min(rows, key=lambda row: row[1].join_response_time)
+    print(f"\nBest strategy for this load: {best[0]} "
+          f"({best[1].join_response_time_ms:.0f} ms average join response time)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim so the package can be installed without the `wheel` module.
+
+`pip install -e .` requires the `wheel` package for PEP 660 editable builds;
+in fully offline environments without it, `python setup.py develop` provides
+an equivalent editable install.
+"""
+from setuptools import setup
+
+setup()

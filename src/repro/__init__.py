@@ -1,0 +1,71 @@
+"""Reproduction of "Dynamic Multi-Resource Load Balancing in Parallel Database
+Systems" (Rahm & Marek, VLDB 1995).
+
+The package simulates a Shared Nothing parallel database system executing
+parallel hash joins and OLTP transactions, and implements the paper's family
+of static, dynamic, isolated and integrated load balancing strategies.
+
+Typical usage::
+
+    from repro import SystemConfig, SimulationDriver
+
+    config = SystemConfig(num_pe=40)
+    driver = SimulationDriver(config, strategy="OPT-IO-CPU")
+    result = driver.run_multi_user(measured_joins=100)
+    print(result.row())
+"""
+
+from repro.config import (
+    BufferConfig,
+    ControlConfig,
+    CpuConfig,
+    DiskConfig,
+    InstructionCosts,
+    JoinQueryConfig,
+    NetworkConfig,
+    OltpConfig,
+    RelationConfig,
+    SystemConfig,
+)
+from repro.scheduling import (
+    STRATEGIES,
+    ControlNode,
+    CostModel,
+    JoinPlan,
+    LoadBalancingStrategy,
+    SchedulingContext,
+    make_strategy,
+    strategy_names,
+)
+from repro.simulation import ParallelSystem, SimulationDriver, SimulationResult
+from repro.workload import JoinQuery, OltpTransaction, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferConfig",
+    "ControlConfig",
+    "CpuConfig",
+    "DiskConfig",
+    "InstructionCosts",
+    "JoinQueryConfig",
+    "NetworkConfig",
+    "OltpConfig",
+    "RelationConfig",
+    "SystemConfig",
+    "STRATEGIES",
+    "ControlNode",
+    "CostModel",
+    "JoinPlan",
+    "LoadBalancingStrategy",
+    "SchedulingContext",
+    "make_strategy",
+    "strategy_names",
+    "ParallelSystem",
+    "SimulationDriver",
+    "SimulationResult",
+    "JoinQuery",
+    "OltpTransaction",
+    "WorkloadSpec",
+    "__version__",
+]

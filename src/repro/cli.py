@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-lb list-strategies
+    repro-lb parameters
+    repro-lb simulate --pe 40 --strategy OPT-IO-CPU --joins 50
+    repro-lb experiment figure6 --joins 30 --sizes 20 40 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config.parameters import OltpConfig, SystemConfig
+from repro.experiments import EXPERIMENTS, render_parameter_table
+from repro.experiments.figure7 import degree_table
+from repro.experiments.figure8 import improvement_table
+from repro.scheduling.strategy import strategy_names
+from repro.simulation.driver import SimulationDriver
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description=(
+            "Dynamic multi-resource load balancing in parallel database systems "
+            "(reproduction of Rahm & Marek, VLDB 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-strategies", help="list the registered load balancing strategies")
+    sub.add_parser("parameters", help="print the Fig. 4 parameter table")
+
+    simulate = sub.add_parser("simulate", help="run one multi-user simulation point")
+    simulate.add_argument("--pe", type=int, default=40, help="number of processing elements")
+    simulate.add_argument("--strategy", default="OPT-IO-CPU", help="load balancing strategy")
+    simulate.add_argument("--joins", type=int, default=50, help="measured join completions")
+    simulate.add_argument("--selectivity", type=float, default=0.01, help="scan selectivity")
+    simulate.add_argument("--rate", type=float, default=0.25, help="join arrival rate per PE (QPS)")
+    simulate.add_argument("--oltp", choices=["none", "A", "B"], default="none",
+                          help="add a debit-credit OLTP load on the A or B nodes")
+    simulate.add_argument("--oltp-tps", type=float, default=100.0, help="OLTP TPS per OLTP node")
+    simulate.add_argument("--single-user", action="store_true", help="single-user mode instead")
+    simulate.add_argument("--time-limit", type=float, default=120.0, help="simulated seconds cap")
+
+    experiment = sub.add_parser("experiment", help="reproduce one of the paper's figures")
+    experiment.add_argument("figure", choices=sorted(EXPERIMENTS), help="figure to reproduce")
+    experiment.add_argument("--joins", type=int, default=None, help="measured joins per point")
+    experiment.add_argument("--sizes", type=int, nargs="*", default=None, help="system sizes")
+    experiment.add_argument("--time-limit", type=float, default=None, help="simulated seconds cap")
+    return parser
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    oltp = None if args.oltp == "none" else OltpConfig(placement=args.oltp,
+                                                       arrival_rate_per_node=args.oltp_tps)
+    config = SystemConfig(num_pe=args.pe, oltp=oltp)
+    config = config.with_overrides(
+        join_query=replace(
+            config.join_query,
+            scan_selectivity=args.selectivity,
+            arrival_rate_per_pe=args.rate,
+        )
+    )
+    driver = SimulationDriver(config, strategy=args.strategy)
+    if args.single_user:
+        result = driver.run_single_user(num_queries=max(1, args.joins // 10))
+    else:
+        result = driver.run_multi_user(
+            measured_joins=args.joins, max_simulated_time=args.time_limit
+        )
+    print(config.describe())
+    print(result.row())
+    for key, value in result.to_dict().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.figure == "figure1":
+        # Fig. 1 is a single-user sweep over the degree of parallelism.
+        if args.joins is not None:
+            kwargs["queries_per_point"] = max(1, args.joins // 10)
+        if args.sizes:
+            kwargs["degrees"] = args.sizes
+    else:
+        if args.joins is not None:
+            kwargs["measured_joins"] = args.joins
+        if args.time_limit is not None:
+            kwargs["max_simulated_time"] = args.time_limit
+        if args.sizes:
+            if args.figure == "figure8":
+                print("note: --sizes is ignored for figure8 (fixed 60 PE)", file=sys.stderr)
+            else:
+                kwargs["system_sizes"] = args.sizes
+    experiment = EXPERIMENTS[args.figure](**kwargs)
+    print(experiment.table())
+    if args.figure == "figure7":
+        print()
+        print(degree_table(experiment))
+    if args.figure == "figure8":
+        print()
+        print(improvement_table(experiment))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-strategies":
+        for name in strategy_names():
+            print(name)
+        return 0
+    if args.command == "parameters":
+        print(render_parameter_table())
+        return 0
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Configuration dataclasses with the paper's Fig. 4 defaults."""
+
+from repro.config.parameters import (
+    MS,
+    BufferConfig,
+    ControlConfig,
+    CpuConfig,
+    DiskConfig,
+    InstructionCosts,
+    JoinQueryConfig,
+    NetworkConfig,
+    OltpConfig,
+    RelationConfig,
+    SystemConfig,
+    default_relation_a,
+    default_relation_b,
+)
+
+__all__ = [
+    "MS",
+    "BufferConfig",
+    "ControlConfig",
+    "CpuConfig",
+    "DiskConfig",
+    "InstructionCosts",
+    "JoinQueryConfig",
+    "NetworkConfig",
+    "OltpConfig",
+    "RelationConfig",
+    "SystemConfig",
+    "default_relation_a",
+    "default_relation_b",
+]

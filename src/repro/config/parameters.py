@@ -1,0 +1,293 @@
+"""Simulation parameters with the defaults of Fig. 4 of the paper.
+
+Every number that appears in the parameter table of the paper (system
+configuration, database and query profile) is encoded here as a dataclass
+default, so the experiment modules only override what a specific figure
+changes (memory size, number of disks, arrival rates, scan selectivity, ...).
+
+All times inside the simulator are expressed in **seconds**, all sizes in
+**pages** or **bytes**, CPU work in **instructions**.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "InstructionCosts",
+    "CpuConfig",
+    "DiskConfig",
+    "BufferConfig",
+    "NetworkConfig",
+    "RelationConfig",
+    "JoinQueryConfig",
+    "OltpConfig",
+    "ControlConfig",
+    "SystemConfig",
+    "MS",
+]
+
+#: Convenience constant: one millisecond in seconds.
+MS = 1e-3
+
+
+@dataclass(frozen=True)
+class InstructionCosts:
+    """Average number of instructions per request type (Fig. 4, left column)."""
+
+    initiate_transaction: int = 25_000
+    terminate_transaction: int = 25_000
+    io_operation: int = 3_000
+    send_message: int = 5_000
+    receive_message: int = 10_000
+    copy_message_packet: int = 5_000  # copy one 8 KB packet
+    read_tuple: int = 500  # read a tuple from a memory page
+    hash_tuple: int = 500
+    insert_into_hash_table: int = 100
+    write_tuple_to_output: int = 100
+    probe_hash_table: int = 200
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """CPU configuration per processing element (PE)."""
+
+    mips: float = 20.0  # 20 MIPS per Fig. 4
+    cpus_per_pe: int = 1
+    # Scheduling quantum: large CPU demands are served in slices of this many
+    # instructions so that concurrent transactions interleave (round-robin
+    # style) instead of blocking each other for tens of milliseconds.
+    quantum_instructions: int = 100_000
+
+    def seconds_for(self, instructions: float) -> float:
+        """Service time in seconds for a CPU request of ``instructions``."""
+        return instructions / (self.mips * 1e6)
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Disk devices and controller configuration per PE (Fig. 4)."""
+
+    disks_per_pe: int = 10  # varied per experiment (Fig. 7 uses 1, Fig. 9 uses 5)
+    controller_service_time: float = 1.0 * MS  # per page
+    transmission_time_per_page: float = 0.4 * MS
+    avg_access_time: float = 15.0 * MS
+    prefetch_delay_per_page: float = 1.0 * MS
+    cache_pages: int = 200  # LRU disk cache in the controller
+    prefetch_pages: int = 4
+
+    def sequential_io_time(self, pages: int) -> float:
+        """Disk busy time for one prefetching I/O reading ``pages`` pages."""
+        return self.avg_access_time + pages * self.prefetch_delay_per_page
+
+    def random_io_time(self) -> float:
+        """Disk busy time for a single-page random I/O."""
+        return self.avg_access_time + self.prefetch_delay_per_page
+
+    def controller_time(self, pages: int) -> float:
+        """Controller + transmission time for ``pages`` pages."""
+        return pages * (self.controller_service_time + self.transmission_time_per_page)
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Main-memory buffer configuration per PE (Fig. 4)."""
+
+    page_size_bytes: int = 8_192  # 8 KB pages
+    buffer_pages: int = 50  # 0.4 MB per PE (deliberately small, see §5.1)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.page_size_bytes * self.buffer_pages
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Interconnection network (EDS-prototype-like parameters).
+
+    The paper charges communication mainly as CPU instructions at sender and
+    receiver (send/receive/copy in :class:`InstructionCosts`); the wire itself
+    is a scalable high-speed interconnect.  We model a small per-packet wire
+    latency plus a bandwidth-derived transfer time.
+    """
+
+    packet_size_bytes: int = 8_192
+    wire_latency: float = 0.05 * MS
+    bandwidth_bytes_per_s: float = 100e6
+
+    def packets_for(self, nbytes: int) -> int:
+        """Number of fixed-size packets needed for a message of ``nbytes``."""
+        if nbytes <= 0:
+            return 1
+        return max(1, math.ceil(nbytes / self.packet_size_bytes))
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire time for a message of ``nbytes`` (excludes CPU costs)."""
+        packets = self.packets_for(nbytes)
+        return packets * self.wire_latency + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class RelationConfig:
+    """A base relation with its physical design (Fig. 4, right column)."""
+
+    name: str
+    num_tuples: int
+    tuple_size_bytes: int = 400
+    blocking_factor: int = 20  # tuples per page
+    index_type: str = "clustered-btree"
+    storage: str = "disk"  # "disk" or "memory"
+    declustering_fraction: float = 1.0  # fraction of all PEs holding fragments
+
+    @property
+    def pages(self) -> int:
+        """Number of data pages of the relation."""
+        return math.ceil(self.num_tuples / self.blocking_factor)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_tuples * self.tuple_size_bytes
+
+    def pages_for_tuples(self, tuples: int) -> int:
+        """Pages occupied by ``tuples`` tuples (clustered storage)."""
+        return max(0, math.ceil(tuples / self.blocking_factor))
+
+
+def default_relation_a() -> RelationConfig:
+    """Relation A (inner join input): 250 000 tuples, 100 MB, on 20 % of PEs."""
+    return RelationConfig(
+        name="A",
+        num_tuples=250_000,
+        declustering_fraction=0.2,
+    )
+
+
+def default_relation_b() -> RelationConfig:
+    """Relation B (outer join input): 1 000 000 tuples, 400 MB, on 80 % of PEs."""
+    return RelationConfig(
+        name="B",
+        num_tuples=1_000_000,
+        declustering_fraction=0.8,
+    )
+
+
+@dataclass(frozen=True)
+class JoinQueryConfig:
+    """Profile of the two-way join query used in the evaluation (Fig. 4)."""
+
+    scan_selectivity: float = 0.01  # 1 % default; varied in Fig. 8
+    result_fraction_of_inner: float = 1.0  # join result = 100 % of inner scan output
+    fudge_factor: float = 1.05  # hash table overhead F
+    access_method: str = "clustered-index"
+    arrival_rate_per_pe: float = 0.25  # queries per second per PE (multi-user)
+    result_tuple_size_bytes: int = 400
+
+    def scaled(self, **overrides) -> "JoinQueryConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class OltpConfig:
+    """Debit-credit (TPC-B-like) OLTP transaction profile (§5.3).
+
+    Each transaction performs four non-clustered index selects on relations
+    other than A and B and updates the corresponding tuples.  Affinity-based
+    routing achieves largely local processing.
+    """
+
+    tuple_accesses: int = 4
+    arrival_rate_per_node: float = 100.0  # transactions per second per OLTP node
+    placement: str = "A"  # "A" nodes (Fig. 9a) or "B" nodes (Fig. 9b)
+    index_levels: int = 2  # non-clustered B+-tree levels traversed per select
+    buffer_hit_ratio: float = 0.92  # fraction of page accesses served from buffer
+    log_io_per_commit: int = 1
+    # Steady-state LRU footprint of OLTP pages in the global buffer.  The LRU
+    # buffer of an OLTP node fills up with account/index pages, which is what
+    # makes the memory-aware strategies steer join work away from OLTP nodes
+    # (§5.3).  Calibrated together with the hit ratio and per-call overhead so
+    # that 100 TPS per node load a node to roughly the paper's figures
+    # (~50 % CPU, ~60 % disk).
+    working_set_pages: int = 44
+    instructions_per_call_overhead: int = 8_000
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Dynamic load-balancing control parameters (§3)."""
+
+    report_interval: float = 0.1  # how often PEs report utilisation (seconds)
+    utilization_window: float = 1.0  # CPU utilisation averaging window (seconds)
+    cpu_reduction_exponent: float = 3.0  # exponent in formula (3.2)
+    adaptive_cpu_increment: float = 0.05  # artificial CPU increase per assigned join (LUC)
+    startup_instructions_per_join_processor: int = 30_000
+    # Calibration factor applied to the per-processor startup cost when the
+    # analytic cost model searches for psu-opt (documented in DESIGN.md).
+    cost_model_startup_factor: float = 0.72
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of one simulated Shared Nothing system."""
+
+    num_pe: int = 40
+    multiprogramming_level: int = 10  # max concurrent transactions per PE
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    buffer: BufferConfig = field(default_factory=BufferConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    costs: InstructionCosts = field(default_factory=InstructionCosts)
+    control: ControlConfig = field(default_factory=ControlConfig)
+    relation_a: RelationConfig = field(default_factory=default_relation_a)
+    relation_b: RelationConfig = field(default_factory=default_relation_b)
+    join_query: JoinQueryConfig = field(default_factory=JoinQueryConfig)
+    oltp: Optional[OltpConfig] = None
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_pe < 1:
+            raise ValueError("num_pe must be >= 1")
+        if self.multiprogramming_level < 1:
+            raise ValueError("multiprogramming_level must be >= 1")
+
+    # -- derived quantities ----------------------------------------------
+    @property
+    def a_node_count(self) -> int:
+        """Number of PEs holding fragments of relation A (at least 1)."""
+        return max(1, round(self.num_pe * self.relation_a.declustering_fraction))
+
+    @property
+    def b_node_count(self) -> int:
+        """Number of PEs holding fragments of relation B (the rest)."""
+        return max(1, self.num_pe - self.a_node_count)
+
+    @property
+    def a_node_ids(self) -> tuple[int, ...]:
+        """PE identifiers owning relation A fragments (0-based, first block)."""
+        return tuple(range(self.a_node_count))
+
+    @property
+    def b_node_ids(self) -> tuple[int, ...]:
+        """PE identifiers owning relation B fragments."""
+        return tuple(range(self.a_node_count, self.a_node_count + self.b_node_count))
+
+    def with_overrides(self, **overrides) -> "SystemConfig":
+        """Return a copy with selected top-level fields replaced."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the CLI and reports."""
+        oltp = (
+            f", OLTP {self.oltp.arrival_rate_per_node:g} TPS on {self.oltp.placement} nodes"
+            if self.oltp
+            else ""
+        )
+        return (
+            f"{self.num_pe} PE x {self.cpu.mips:g} MIPS, "
+            f"{self.buffer.buffer_pages} buffer pages, "
+            f"{self.disk.disks_per_pe} disks/PE, "
+            f"join selectivity {self.join_query.scan_selectivity:.2%}"
+            f"{oltp}"
+        )

@@ -1,0 +1,16 @@
+"""Database model: relations, fragments, indices, declustering, catalog."""
+
+from repro.database.allocation import allocate_paper_database, decluster, split_evenly
+from repro.database.catalog import Catalog
+from repro.database.index import BTreeIndex
+from repro.database.relation import Fragment, Relation
+
+__all__ = [
+    "allocate_paper_database",
+    "decluster",
+    "split_evenly",
+    "Catalog",
+    "BTreeIndex",
+    "Fragment",
+    "Relation",
+]

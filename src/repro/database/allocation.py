@@ -1,0 +1,99 @@
+"""Declustering of relations across processing elements and disks.
+
+The paper declusters each relation uniformly across a *disjoint* subset of the
+PEs: relation B over 80 % of the nodes, relation A over the remaining 20 %
+(§5.1).  Each PE holds the same number of tuples of "its" relation so that
+scan work is statically balanced.  Fragments are spread round-robin over the
+PE's disks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.config.parameters import RelationConfig, SystemConfig
+from repro.database.index import BTreeIndex
+from repro.database.relation import Fragment, Relation
+
+__all__ = ["decluster", "allocate_paper_database", "split_evenly"]
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Split ``total`` items into ``parts`` near-equal integer shares.
+
+    The first ``total % parts`` shares get one extra item, so the shares sum
+    exactly to ``total`` and differ by at most one.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, remainder = divmod(total, parts)
+    return [base + (1 if index < remainder else 0) for index in range(parts)]
+
+
+def decluster(
+    config: RelationConfig,
+    pe_ids: Sequence[int],
+    disks_per_pe: int = 1,
+) -> Relation:
+    """Horizontally decluster a relation across the given PEs.
+
+    Tuples are divided as evenly as possible; each fragment is assigned all
+    the PE's disks round-robin (the disk subsystem stripes fragment pages).
+    """
+    if not pe_ids:
+        raise ValueError(f"relation {config.name} needs at least one PE")
+    relation = Relation(
+        config=config,
+        index=BTreeIndex(
+            relation_name=config.name,
+            clustered=config.index_type.startswith("clustered"),
+            num_entries=config.num_tuples,
+        ),
+    )
+    shares = split_evenly(config.num_tuples, len(pe_ids))
+    disk_ids = tuple(range(max(1, disks_per_pe)))
+    for pe_id, share in zip(pe_ids, shares):
+        relation.add_fragment(
+            Fragment(
+                relation_name=config.name,
+                pe_id=pe_id,
+                num_tuples=share,
+                blocking_factor=config.blocking_factor,
+                disk_ids=disk_ids,
+            )
+        )
+    return relation
+
+
+def allocate_paper_database(config: SystemConfig) -> dict[str, Relation]:
+    """Create the paper's database allocation for a given system size.
+
+    Relation A occupies the first 20 % of the PEs, relation B the remaining
+    80 %; the two sets are disjoint.  Additional per-node OLTP relations
+    ("ACCT") are created when an OLTP workload is configured; they are local
+    to their node (affinity-based routing accesses only local data).
+    """
+    relations: dict[str, Relation] = {}
+    relations["A"] = decluster(
+        config.relation_a, config.a_node_ids, config.disk.disks_per_pe
+    )
+    relations["B"] = decluster(
+        config.relation_b, config.b_node_ids, config.disk.disks_per_pe
+    )
+    if config.oltp is not None:
+        oltp_nodes = (
+            config.a_node_ids if config.oltp.placement.upper() == "A" else config.b_node_ids
+        )
+        # One account-style relation per OLTP node, disjoint from A and B so
+        # that joins and OLTP transactions never conflict on locks (§5.3).
+        account = RelationConfig(
+            name="ACCT",
+            num_tuples=100_000 * len(oltp_nodes),
+            tuple_size_bytes=100,
+            blocking_factor=80,
+            index_type="unclustered-btree",
+            declustering_fraction=len(oltp_nodes) / config.num_pe,
+        )
+        relations["ACCT"] = decluster(account, oltp_nodes, config.disk.disks_per_pe)
+    return relations

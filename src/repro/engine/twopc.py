@@ -1,0 +1,137 @@
+"""Distributed two-phase commit.
+
+Distributed two-phase commit involves all processors that participated in the
+execution of a transaction/query (paper §4).  The *read-only optimisation* is
+supported: read-only sub-transactions need only one distributed round (to
+release their read locks) instead of two.
+
+The protocol charges CPU for every message at sender and receiver, waits for
+the network transfer, and performs a synchronous log write at each update
+participant during the prepare phase (and at the coordinator for the final
+decision record).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.config.parameters import InstructionCosts
+from repro.hardware.cpu import PRIORITY_QUERY
+from repro.hardware.network import Network
+
+__all__ = ["CommitStatistics", "run_commit"]
+
+
+class CommitStatistics:
+    """Counts of commit rounds and messages (for tests and reports)."""
+
+    def __init__(self) -> None:
+        self.commits = 0
+        self.one_phase_commits = 0
+        self.two_phase_commits = 0
+        self.messages = 0
+
+    def record(self, participants: int, read_only: bool) -> None:
+        self.commits += 1
+        if read_only:
+            self.one_phase_commits += 1
+            self.messages += 2 * participants
+        else:
+            self.two_phase_commits += 1
+            self.messages += 4 * participants
+
+
+def _control_message(sender, receiver, network: Network, priority: int):
+    """One small control message from ``sender`` PE to ``receiver`` PE."""
+    send_cost, receive_cost = network.control_message_instructions()
+    yield from sender.cpu.consume(send_cost, priority=priority)
+    yield from network.transfer(256)
+    yield from receiver.cpu.consume(receive_cost, priority=priority)
+
+
+def _deliver(receiver, network: Network, priority: int):
+    """Wire transfer plus receive-side CPU for one control message."""
+    _, receive_cost = network.control_message_instructions()
+    yield from network.transfer(256)
+    yield from receiver.cpu.consume(receive_cost, priority=priority)
+
+
+def _broadcast(env, sender, receivers, network: Network, priority: int):
+    """Send one control message to every receiver.
+
+    The sender's CPU is charged once for all sends (they are issued back to
+    back); delivery and receive-side processing happen in parallel at the
+    receivers, as in the real system.
+    """
+    send_cost, _ = network.control_message_instructions()
+    yield from sender.cpu.consume(send_cost * len(receivers), priority=priority)
+    yield env.all_of([env.process(_deliver(pe, network, priority)) for pe in receivers])
+
+
+def _gather(env, sender_pes, coordinator, network: Network, priority: int):
+    """Every participant sends one reply; the coordinator receives them all."""
+    send_cost, receive_cost = network.control_message_instructions()
+
+    def reply(pe):
+        yield from pe.cpu.consume(send_cost, priority=priority)
+        yield from network.transfer(256)
+
+    yield env.all_of([env.process(reply(pe)) for pe in sender_pes])
+    yield from coordinator.cpu.consume(receive_cost * len(sender_pes), priority=priority)
+
+
+def run_commit(
+    coordinator,
+    participants: Sequence,
+    network: Network,
+    costs: InstructionCosts,
+    read_only: bool = True,
+    priority: int = PRIORITY_QUERY,
+    statistics: CommitStatistics | None = None,
+    log_write=None,
+):
+    """Simulation step executing the commit protocol.
+
+    ``coordinator`` and ``participants`` are ProcessingElement-like objects
+    exposing ``cpu`` and ``disks``; the coordinator must not appear in the
+    participant list.  ``log_write`` optionally overrides the participant log
+    write step (used by tests).
+    """
+    env = coordinator.env
+    remote = [pe for pe in participants if pe is not coordinator]
+    if statistics is not None:
+        statistics.record(len(remote), read_only)
+
+    if not remote:
+        # Purely local transaction: just force the local log for updates.
+        if not read_only:
+            yield from coordinator.cpu.consume(costs.io_operation, priority=priority)
+            yield from coordinator.disks.write_random()
+        return
+
+    if read_only:
+        # One round: release read locks at the participants, collect acks.
+        yield from _broadcast(env, coordinator, remote, network, priority)
+        yield from _gather(env, remote, coordinator, network, priority)
+        return
+
+    # Phase 1: prepare -- each participant forces a prepare log record and votes.
+    yield from _broadcast(env, coordinator, remote, network, priority)
+
+    def prepare(participant):
+        yield from participant.cpu.consume(costs.io_operation, priority=priority)
+        if log_write is not None:
+            yield from log_write(participant)
+        else:
+            yield from participant.disks.write_random()
+
+    yield env.all_of([env.process(prepare(pe)) for pe in remote])
+    yield from _gather(env, remote, coordinator, network, priority)
+
+    # Coordinator forces the commit record.
+    yield from coordinator.cpu.consume(costs.io_operation, priority=priority)
+    yield from coordinator.disks.write_random()
+
+    # Phase 2: commit decision and acknowledgements.
+    yield from _broadcast(env, coordinator, remote, network, priority)
+    yield from _gather(env, remote, coordinator, network, priority)

@@ -1,0 +1,78 @@
+"""Execution of debit-credit (TPC-B-like) OLTP transactions.
+
+Each transaction runs entirely on its home node (affinity-based routing,
+paper §5.3): four non-clustered index selects on node-local relations
+followed by updates of the selected tuples, a forced log write and a local
+commit.  OLTP work runs at higher CPU priority than complex queries and its
+buffer footprint may steal memory from running hash joins (footnote 4 /
+PPHJ adaptation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from repro.config.parameters import InstructionCosts, OltpConfig
+from repro.engine.lock import LockMode
+from repro.hardware.cpu import PRIORITY_OLTP
+from repro.workload.query import OltpTransaction
+from repro.workload.tpcb import OltpCostProfile, build_cost_profile
+
+__all__ = ["execute_oltp_transaction"]
+
+
+def execute_oltp_transaction(
+    system,
+    transaction: OltpTransaction,
+    profile: Optional[OltpCostProfile] = None,
+    rng: Optional[random.Random] = None,
+) -> Generator:
+    """Simulation process executing one OLTP transaction on its home PE."""
+    env = system.env
+    config = system.config
+    costs: InstructionCosts = config.costs
+    oltp_config: OltpConfig = config.oltp or OltpConfig()
+    if profile is None:
+        profile = build_cost_profile(oltp_config, costs)
+    if rng is None:
+        rng = random.Random(transaction.txn_id)
+
+    pe = system.pes[transaction.home_pe if transaction.home_pe is not None else transaction.coordinator_pe]
+
+    # Maintain the OLTP buffer footprint on this node (steals from joins if
+    # necessary -- the PPHJ steal callback reacts by spooling partitions).
+    pe.buffer.ensure_oltp_footprint(oltp_config.working_set_pages)
+
+    # BOT.
+    yield from pe.cpu.consume(costs.initiate_transaction, priority=PRIORITY_OLTP)
+
+    # Acquire exclusive locks on the accessed tuples (page-granularity ids on
+    # the node-local account relation; disjoint from A and B so no conflicts
+    # with join queries).
+    locked = []
+    for access in range(transaction.tuple_accesses):
+        resource = ("ACCT", pe.pe_id, rng.randrange(10_000))
+        yield pe.locks.acquire(transaction.txn_id, resource, LockMode.EXCLUSIVE)
+        locked.append(resource)
+
+    # CPU for index traversals, tuple reads and updates (aggregated).
+    yield from pe.cpu.consume(profile.cpu_instructions, priority=PRIORITY_OLTP)
+
+    # Physical reads for buffer misses.
+    misses = 0
+    for access in range(profile.page_reads):
+        if rng.random() > profile.buffer_hit_ratio:
+            misses += 1
+    for miss in range(misses):
+        yield from pe.disks.read_random(page_key=("acct", pe.pe_id, rng.randrange(5_000)))
+
+    # Commit: force the log, then release locks (strict 2PL).
+    for _ in range(profile.log_writes):
+        yield from pe.disks.write_random()
+    yield from pe.cpu.consume(costs.terminate_transaction, priority=PRIORITY_OLTP)
+    pe.locks.release_all(transaction.txn_id)
+
+    transaction.completion_time = env.now
+    pe.oltp_processed += 1
+    return transaction

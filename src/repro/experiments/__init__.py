@@ -1,0 +1,51 @@
+"""Reproduction of the paper's evaluation section, one module per figure."""
+
+from repro.experiments import figure1, figure5, figure6, figure7, figure8, figure9
+from repro.experiments.base import (
+    PAPER_SYSTEM_SIZES,
+    ExperimentPoint,
+    ExperimentResult,
+    default_measured_joins,
+    default_time_limit,
+    run_point,
+    run_single_user_point,
+)
+from repro.experiments.scenarios import (
+    homogeneous_config,
+    join_complexity_config,
+    memory_bound_config,
+    mixed_workload_config,
+)
+from repro.experiments.table_parameters import render as render_parameter_table
+
+__all__ = [
+    "figure1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "PAPER_SYSTEM_SIZES",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "default_measured_joins",
+    "default_time_limit",
+    "run_point",
+    "run_single_user_point",
+    "homogeneous_config",
+    "join_complexity_config",
+    "memory_bound_config",
+    "mixed_workload_config",
+    "render_parameter_table",
+]
+
+#: Mapping used by the CLI: figure name -> callable returning ExperimentResult.
+EXPERIMENTS = {
+    "figure1": figure1.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9a": lambda **kwargs: figure9.run(oltp_placement="A", **kwargs),
+    "figure9b": lambda **kwargs: figure9.run(oltp_placement="B", **kwargs),
+}

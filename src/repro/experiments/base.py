@@ -1,0 +1,168 @@
+"""Common infrastructure for reproducing the paper's experiments.
+
+Every figure of the evaluation section is expressed as a *sweep*: a set of
+(strategy, x-value) points, each of which is one simulation run summarised by
+a :class:`~repro.simulation.results.SimulationResult`.  The helpers here run
+such points, collect them into an :class:`ExperimentResult` and format the
+textual tables that stand in for the paper's plots.
+
+Run length defaults are deliberately modest so that the full benchmark suite
+finishes in minutes; they can be scaled with the ``REPRO_BENCH_JOINS`` and
+``REPRO_BENCH_TIME_LIMIT`` environment variables or the ``measured_joins`` /
+``max_simulated_time`` arguments.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.config.parameters import SystemConfig
+from repro.simulation.driver import SimulationDriver
+from repro.simulation.results import SimulationResult
+from repro.workload.generator import WorkloadSpec
+
+__all__ = [
+    "ExperimentPoint",
+    "ExperimentResult",
+    "default_measured_joins",
+    "default_time_limit",
+    "run_point",
+    "run_single_user_point",
+    "format_table",
+]
+
+#: System sizes used throughout the paper's multi-user experiments.
+PAPER_SYSTEM_SIZES = (10, 20, 40, 60, 80)
+
+
+def default_measured_joins(fallback: int = 40) -> int:
+    """Number of measured join completions per point (env-overridable)."""
+    try:
+        return max(5, int(os.environ.get("REPRO_BENCH_JOINS", fallback)))
+    except ValueError:
+        return fallback
+
+
+def default_time_limit(fallback: float = 120.0) -> float:
+    """Simulated-time cap per point in seconds (env-overridable)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", fallback))
+    except ValueError:
+        return fallback
+
+
+@dataclass
+class ExperimentPoint:
+    """One simulated point of one curve of one figure."""
+
+    figure: str
+    series: str
+    x: float
+    result: SimulationResult
+
+    @property
+    def response_time_ms(self) -> float:
+        return self.result.join_response_time_ms
+
+
+@dataclass
+class ExperimentResult:
+    """All points of one reproduced figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    points: List[ExperimentPoint] = field(default_factory=list)
+
+    def add(self, point: ExperimentPoint) -> None:
+        self.points.append(point)
+
+    def series_names(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            if point.series not in names:
+                names.append(point.series)
+        return names
+
+    def x_values(self) -> List[float]:
+        values: List[float] = []
+        for point in self.points:
+            if point.x not in values:
+                values.append(point.x)
+        return sorted(values)
+
+    def series(self, name: str) -> List[ExperimentPoint]:
+        return sorted((p for p in self.points if p.series == name), key=lambda p: p.x)
+
+    def value(self, series: str, x: float) -> Optional[ExperimentPoint]:
+        for point in self.points:
+            if point.series == series and point.x == x:
+                return point
+        return None
+
+    def table(self, metric: Callable[[ExperimentPoint], float] | None = None,
+              unit: str = "ms") -> str:
+        """Text table: one row per x value, one column per series."""
+        metric = metric or (lambda point: point.response_time_ms)
+        return format_table(self, metric, unit)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flat row dictionaries (series, x, and the full result dict)."""
+        rows = []
+        for point in self.points:
+            row: Dict[str, object] = {"figure": self.figure, "series": point.series, "x": point.x}
+            row.update(point.result.to_dict())
+            rows.append(row)
+        return rows
+
+
+def format_table(result: ExperimentResult, metric, unit: str) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    series_names = result.series_names()
+    width = max(12, *(len(name) + 2 for name in series_names)) if series_names else 12
+    header = f"{result.title}\n{result.x_label:>10} | " + " | ".join(
+        f"{name:>{width}}" for name in series_names
+    )
+    lines = [header, "-" * len(header.splitlines()[-1])]
+    for x in result.x_values():
+        cells = []
+        for name in series_names:
+            point = result.value(name, x)
+            cells.append(f"{metric(point):>{width}.1f}" if point is not None else " " * width)
+        x_text = f"{x:g}"
+        lines.append(f"{x_text:>10} | " + " | ".join(cells))
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def run_point(
+    config: SystemConfig,
+    strategy: str,
+    measured_joins: Optional[int] = None,
+    warmup_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    spec: Optional[WorkloadSpec] = None,
+) -> SimulationResult:
+    """Run one multi-user simulation point."""
+    measured = measured_joins if measured_joins is not None else default_measured_joins()
+    warmup = warmup_joins if warmup_joins is not None else max(5, measured // 5)
+    limit = max_simulated_time if max_simulated_time is not None else default_time_limit()
+    driver = SimulationDriver(config, strategy=strategy)
+    return driver.run_multi_user(
+        spec=spec,
+        warmup_joins=warmup,
+        measured_joins=measured,
+        max_simulated_time=limit,
+    )
+
+
+def run_single_user_point(
+    config: SystemConfig,
+    strategy: str = "psu_opt+RANDOM",
+    num_queries: int = 5,
+) -> SimulationResult:
+    """Run one single-user (one query at a time) baseline point."""
+    driver = SimulationDriver(config, strategy=strategy)
+    return driver.run_single_user(num_queries=num_queries)

@@ -1,0 +1,67 @@
+"""Fig. 5: static degree of join parallelism, homogeneous workload.
+
+Multi-user join response times (0.25 QPS per PE, 1 % scan selectivity) for a
+static degree of join parallelism -- psu-noIO (= 3) or psu-opt (= 30) -- in
+combination with RANDOM, LUC and LUM selection of the join processors, over
+system sizes of 10 to 80 PE, plus the single-user baseline with psu-opt join
+processors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import (
+    PAPER_SYSTEM_SIZES,
+    ExperimentPoint,
+    ExperimentResult,
+    run_point,
+    run_single_user_point,
+)
+from repro.experiments.scenarios import homogeneous_config
+
+__all__ = ["run", "STRATEGIES"]
+
+STRATEGIES = (
+    "psu_noIO+RANDOM",
+    "psu_noIO+LUC",
+    "psu_noIO+LUM",
+    "psu_opt+RANDOM",
+    "psu_opt+LUC",
+    "psu_opt+LUM",
+)
+
+
+def run(
+    system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
+    strategies: Sequence[str] = STRATEGIES,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    include_single_user: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 5 (response times in ms per strategy and system size)."""
+    experiment = ExperimentResult(
+        figure="figure5",
+        title="Fig. 5: static degree of parallelism (multi-user join 0.25 QPS/PE, 1% selectivity)",
+        x_label="# PE",
+    )
+    for num_pe in system_sizes:
+        config = homogeneous_config(num_pe)
+        for strategy in strategies:
+            result = run_point(
+                config,
+                strategy,
+                measured_joins=measured_joins,
+                max_simulated_time=max_simulated_time,
+            )
+            experiment.add(
+                ExperimentPoint(figure="figure5", series=strategy, x=num_pe, result=result)
+            )
+        if include_single_user:
+            baseline = run_single_user_point(config, strategy="psu_opt+RANDOM")
+            experiment.add(
+                ExperimentPoint(
+                    figure="figure5", series="single-user (psu_opt)", x=num_pe, result=baseline
+                )
+            )
+    return experiment

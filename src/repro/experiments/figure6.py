@@ -1,0 +1,65 @@
+"""Fig. 6: dynamic degree of join parallelism, homogeneous workload.
+
+Same workload as Fig. 5 (0.25 QPS/PE, 1 % selectivity) but with strategies
+that determine the number of join processors dynamically: the isolated
+pmu-cpu policy (with RANDOM or LUM placement) and the three integrated
+strategies MIN-IO, MIN-IO-SUOPT and OPT-IO-CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import (
+    PAPER_SYSTEM_SIZES,
+    ExperimentPoint,
+    ExperimentResult,
+    run_point,
+    run_single_user_point,
+)
+from repro.experiments.scenarios import homogeneous_config
+
+__all__ = ["run", "STRATEGIES"]
+
+STRATEGIES = (
+    "MIN-IO",
+    "MIN-IO-SUOPT",
+    "pmu_cpu+RANDOM",
+    "pmu_cpu+LUM",
+    "OPT-IO-CPU",
+)
+
+
+def run(
+    system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
+    strategies: Sequence[str] = STRATEGIES,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    include_single_user: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 6 (response times in ms per strategy and system size)."""
+    experiment = ExperimentResult(
+        figure="figure6",
+        title="Fig. 6: dynamic degree of join parallelism (0.25 QPS/PE, 1% selectivity)",
+        x_label="# PE",
+    )
+    for num_pe in system_sizes:
+        config = homogeneous_config(num_pe)
+        for strategy in strategies:
+            result = run_point(
+                config,
+                strategy,
+                measured_joins=measured_joins,
+                max_simulated_time=max_simulated_time,
+            )
+            experiment.add(
+                ExperimentPoint(figure="figure6", series=strategy, x=num_pe, result=result)
+            )
+        if include_single_user:
+            baseline = run_single_user_point(config, strategy="psu_opt+RANDOM")
+            experiment.add(
+                ExperimentPoint(
+                    figure="figure6", series="single-user (psu_opt)", x=num_pe, result=baseline
+                )
+            )
+    return experiment

@@ -1,0 +1,81 @@
+"""Fig. 7: memory/disk-bound environment.
+
+The buffer per PE is reduced by a factor of 10 and only one disk per PE is
+available for temporary files; the arrival rate is lowered (0.05 and 0.025
+QPS per PE) so that the CPU utilisation stays low while buffers and the
+temporary-file disk become the bottleneck.  The experiment compares
+MIN-IO-SUOPT (which raises the degree of parallelism with the system size to
+minimise overflow I/O) against pmu-cpu + LUM (which does not), and also
+reports the average chosen degree of join parallelism, as the annotations in
+the paper's figure do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.base import (
+    ExperimentPoint,
+    ExperimentResult,
+    run_point,
+    run_single_user_point,
+)
+from repro.experiments.scenarios import memory_bound_config
+
+__all__ = ["run", "STRATEGIES", "SYSTEM_SIZES", "ARRIVAL_RATES"]
+
+STRATEGIES = ("pmu_cpu+LUM", "MIN-IO-SUOPT")
+SYSTEM_SIZES = (20, 30, 40, 60, 80)
+ARRIVAL_RATES = (0.05, 0.025)
+
+
+def run(
+    system_sizes: Sequence[int] = SYSTEM_SIZES,
+    arrival_rates: Sequence[float] = ARRIVAL_RATES,
+    strategies: Sequence[str] = STRATEGIES,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    include_single_user: bool = True,
+) -> ExperimentResult:
+    """Reproduce Fig. 7 (memory-bound environment, 1 % selectivity)."""
+    experiment = ExperimentResult(
+        figure="figure7",
+        title="Fig. 7: memory-bound environment (buffer/10, 1 temp disk per PE)",
+        x_label="# PE",
+    )
+    for num_pe in system_sizes:
+        for rate in arrival_rates:
+            config = memory_bound_config(num_pe, arrival_rate_per_pe=rate)
+            for strategy in strategies:
+                result = run_point(
+                    config,
+                    strategy,
+                    measured_joins=measured_joins,
+                    max_simulated_time=max_simulated_time,
+                )
+                experiment.add(
+                    ExperimentPoint(
+                        figure="figure7",
+                        series=f"{strategy} @{rate:g} QPS/PE",
+                        x=num_pe,
+                        result=result,
+                    )
+                )
+        if include_single_user:
+            config = memory_bound_config(num_pe)
+            for strategy in strategies:
+                baseline = run_single_user_point(config, strategy=strategy)
+                experiment.add(
+                    ExperimentPoint(
+                        figure="figure7",
+                        series=f"{strategy} single-user",
+                        x=num_pe,
+                        result=baseline,
+                    )
+                )
+    return experiment
+
+
+def degree_table(experiment: ExperimentResult) -> str:
+    """The average chosen degree of join parallelism (Fig. 7 annotations)."""
+    return experiment.table(metric=lambda point: point.result.average_degree, unit="join processors")

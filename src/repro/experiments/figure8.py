@@ -1,0 +1,95 @@
+"""Fig. 8: influence of join complexity.
+
+At a constant system size of 60 PE the scan selectivity is varied between
+0.1 % and 5 % (and the per-selectivity arrival rate adjusted so that at least
+one resource is highly utilised).  The figure reports the *relative response
+time improvement* of the dynamic strategies over the static baseline
+psu-opt + RANDOM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.base import ExperimentPoint, ExperimentResult, run_point
+from repro.experiments.scenarios import JOIN_COMPLEXITY_RATES, join_complexity_config
+
+__all__ = ["run", "STRATEGIES", "SELECTIVITIES", "improvement_table"]
+
+STRATEGIES = (
+    "psu_noIO+LUM",
+    "MIN-IO-SUOPT",
+    "MIN-IO",
+    "pmu_cpu+LUM",
+    "OPT-IO-CPU",
+)
+BASELINE = "psu_opt+RANDOM"
+SELECTIVITIES = (0.001, 0.01, 0.02, 0.05)
+
+
+def run(
+    selectivities: Sequence[float] = SELECTIVITIES,
+    strategies: Sequence[str] = STRATEGIES,
+    num_pe: int = 60,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+) -> ExperimentResult:
+    """Reproduce Fig. 8.
+
+    The experiment stores the absolute response times; use
+    :func:`improvement_table` to obtain the paper's relative-improvement view
+    (the baseline psu-opt + RANDOM is included as its own series).
+    """
+    experiment = ExperimentResult(
+        figure="figure8",
+        title=f"Fig. 8: influence of join complexity ({num_pe} PE, selectivity sweep)",
+        x_label="selectivity %",
+    )
+    for selectivity in selectivities:
+        config = join_complexity_config(selectivity, num_pe=num_pe)
+        baseline_result = run_point(
+            config, BASELINE, measured_joins=measured_joins, max_simulated_time=max_simulated_time
+        )
+        experiment.add(
+            ExperimentPoint(
+                figure="figure8", series=BASELINE, x=selectivity * 100, result=baseline_result
+            )
+        )
+        for strategy in strategies:
+            result = run_point(
+                config,
+                strategy,
+                measured_joins=measured_joins,
+                max_simulated_time=max_simulated_time,
+            )
+            experiment.add(
+                ExperimentPoint(
+                    figure="figure8", series=strategy, x=selectivity * 100, result=result
+                )
+            )
+    return experiment
+
+
+def improvement_table(experiment: ExperimentResult) -> str:
+    """Relative response-time improvement (%) versus psu-opt + RANDOM."""
+    lines = [
+        "Fig. 8: relative response time improvement vs psu_opt+RANDOM [%]",
+        f"{'selectivity %':>14} | " + " | ".join(f"{name:>14}" for name in STRATEGIES),
+    ]
+    lines.append("-" * len(lines[-1]))
+    for x in experiment.x_values():
+        baseline = experiment.value(BASELINE, x)
+        if baseline is None or baseline.result.join_response_time <= 0:
+            continue
+        cells = []
+        for name in STRATEGIES:
+            point = experiment.value(name, x)
+            if point is None:
+                cells.append(" " * 14)
+                continue
+            improvement = 100.0 * (
+                1.0 - point.result.join_response_time / baseline.result.join_response_time
+            )
+            cells.append(f"{improvement:>14.1f}")
+        lines.append(f"{x:>14g} | " + " | ".join(cells))
+    return "\n".join(lines)

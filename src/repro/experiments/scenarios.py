@@ -1,0 +1,97 @@
+"""Configuration builders for the paper's experiment scenarios (§5.1-§5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.config.parameters import OltpConfig, SystemConfig
+
+__all__ = [
+    "homogeneous_config",
+    "memory_bound_config",
+    "join_complexity_config",
+    "mixed_workload_config",
+]
+
+
+def homogeneous_config(
+    num_pe: int,
+    scan_selectivity: float = 0.01,
+    arrival_rate_per_pe: float = 0.25,
+    seed: int = 42,
+) -> SystemConfig:
+    """Homogeneous join-only workload of §5.2 (Figs. 5 and 6)."""
+    config = SystemConfig(num_pe=num_pe, seed=seed)
+    return config.with_overrides(
+        join_query=replace(
+            config.join_query,
+            scan_selectivity=scan_selectivity,
+            arrival_rate_per_pe=arrival_rate_per_pe,
+        )
+    )
+
+
+def memory_bound_config(
+    num_pe: int,
+    arrival_rate_per_pe: float = 0.05,
+    seed: int = 42,
+) -> SystemConfig:
+    """Memory/disk-bound environment of Fig. 7.
+
+    The buffer is reduced by a factor of 10 (50 -> 5 pages) and only one disk
+    per PE is available for temporary file I/O; the query arrival rate is
+    reduced so that the CPU stays lightly loaded (< 20 %).
+    """
+    config = homogeneous_config(num_pe, arrival_rate_per_pe=arrival_rate_per_pe, seed=seed)
+    return config.with_overrides(
+        buffer=replace(config.buffer, buffer_pages=5),
+        disk=replace(config.disk, disks_per_pe=1),
+    )
+
+
+#: Arrival rates (QPS per PE) per scan selectivity for the join-complexity
+#: experiment: chosen so that at least one resource is highly utilised at the
+#: fixed system size of 60 PE (paper §5.2, "Influence of join complexity").
+JOIN_COMPLEXITY_RATES = {
+    0.001: 0.60,
+    0.01: 0.25,
+    0.02: 0.14,
+    0.05: 0.055,
+}
+
+
+def join_complexity_config(
+    selectivity: float,
+    num_pe: int = 60,
+    arrival_rate_per_pe: Optional[float] = None,
+    seed: int = 42,
+) -> SystemConfig:
+    """Configuration for the join complexity experiment (Fig. 8)."""
+    if arrival_rate_per_pe is None:
+        arrival_rate_per_pe = JOIN_COMPLEXITY_RATES.get(selectivity, 0.25 * 0.01 / selectivity)
+    return homogeneous_config(
+        num_pe,
+        scan_selectivity=selectivity,
+        arrival_rate_per_pe=arrival_rate_per_pe,
+        seed=seed,
+    )
+
+
+def mixed_workload_config(
+    num_pe: int,
+    oltp_placement: str = "A",
+    oltp_tps_per_node: float = 100.0,
+    join_rate_per_pe: float = 0.075,
+    seed: int = 42,
+) -> SystemConfig:
+    """Heterogeneous query/OLTP workload of Fig. 9 (5 disks per PE)."""
+    config = SystemConfig(
+        num_pe=num_pe,
+        seed=seed,
+        oltp=OltpConfig(placement=oltp_placement, arrival_rate_per_node=oltp_tps_per_node),
+    )
+    return config.with_overrides(
+        disk=replace(config.disk, disks_per_pe=5),
+        join_query=replace(config.join_query, arrival_rate_per_pe=join_rate_per_pe),
+    )

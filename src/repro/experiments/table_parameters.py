@@ -1,0 +1,62 @@
+"""Fig. 4: the parameter table of the simulation system.
+
+Not a performance experiment -- this module renders the configuration
+defaults so the reproduction of the parameter table can be checked at a
+glance (and regression-tested).
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import SystemConfig
+
+__all__ = ["render", "rows"]
+
+
+def rows(config: SystemConfig | None = None) -> list[tuple[str, str]]:
+    """(parameter, value) pairs mirroring Fig. 4 of the paper."""
+    config = config or SystemConfig()
+    costs = config.costs
+    disk = config.disk
+    return [
+        ("number of PE (#PE, n)", "10, 20, 40, 60, 80"),
+        ("CPU speed per PE", f"{config.cpu.mips:g} MIPS"),
+        ("instructions: initiate a query/transaction", f"{costs.initiate_transaction}"),
+        ("instructions: terminate a query/transaction", f"{costs.terminate_transaction}"),
+        ("instructions: I/O", f"{costs.io_operation}"),
+        ("instructions: send message", f"{costs.send_message}"),
+        ("instructions: receive message", f"{costs.receive_message}"),
+        ("instructions: copy 8 KB message", f"{costs.copy_message_packet}"),
+        ("instructions: read a tuple from memory page", f"{costs.read_tuple}"),
+        ("instructions: hash a tuple", f"{costs.hash_tuple}"),
+        ("instructions: insert a tuple into hash table", f"{costs.insert_into_hash_table}"),
+        ("instructions: write a tuple into output buffer", f"{costs.write_tuple_to_output}"),
+        ("instructions: probe hash table", f"{costs.probe_hash_table}"),
+        ("page size", f"{config.buffer.page_size_bytes // 1024} KB"),
+        ("buffer size", f"{config.buffer.buffer_pages} pages"),
+        ("disks per PE", f"{disk.disks_per_pe}"),
+        ("controller service time", f"{disk.controller_service_time * 1e3:g} ms per page"),
+        ("transmission time per page", f"{disk.transmission_time_per_page * 1e3:g} ms"),
+        ("avg. disk access time", f"{disk.avg_access_time * 1e3:g} ms"),
+        ("prefetching delay per page", f"{disk.prefetch_delay_per_page * 1e3:g} ms"),
+        ("disk cache", f"{disk.cache_pages} pages"),
+        ("prefetching size", f"{disk.prefetch_pages} pages"),
+        ("relation A: #tuples", f"{config.relation_a.num_tuples}"),
+        ("relation A: tuple size", f"{config.relation_a.tuple_size_bytes} B"),
+        ("relation A: allocation", "partial declustering (20% of #PE)"),
+        ("relation B: #tuples", f"{config.relation_b.num_tuples}"),
+        ("relation B: tuple size", f"{config.relation_b.tuple_size_bytes} B"),
+        ("relation B: allocation", "partial declustering (80% of #PE)"),
+        ("join: access method", "via clustered index"),
+        ("join: fudge factor hash table", f"{config.join_query.fudge_factor:g}"),
+        ("join: no. of result tuples", "100% of the inner relation"),
+        ("join: query placement", "random (uniformly over all PE)"),
+    ]
+
+
+def render(config: SystemConfig | None = None) -> str:
+    """Aligned text rendering of the parameter table."""
+    pairs = rows(config)
+    width = max(len(name) for name, _ in pairs)
+    lines = ["Fig. 4: system configuration, database and query profile"]
+    lines += [f"  {name:<{width}}  {value}" for name, value in pairs]
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""CPU server of a processing element.
+
+Every major processing step requests CPU service (paper §4): transaction
+initiation (BOT), object accesses in main memory, I/O overhead, communication
+overhead and commit processing.  Service times are derived from the
+instruction cost table (Fig. 4) and the CPU speed in MIPS.
+
+OLTP transactions may be given priority over complex-query work; the
+underlying :class:`~repro.sim.resources.PriorityResource` serves lower
+priority values first.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config.parameters import CpuConfig, InstructionCosts
+from repro.sim import Environment, PriorityResource
+
+__all__ = ["CpuServer", "PRIORITY_OLTP", "PRIORITY_QUERY", "PRIORITY_BACKGROUND"]
+
+#: Priority levels: lower value is served first.
+PRIORITY_OLTP = 0
+PRIORITY_QUERY = 5
+PRIORITY_BACKGROUND = 9
+
+
+class CpuServer:
+    """The CPU(s) of one PE with utilisation bookkeeping.
+
+    Besides the lifetime utilisation (from the resource accounting), the
+    server keeps a *windowed* utilisation that the control node polls
+    periodically -- dynamic load balancing reacts to the recent past, not to
+    the whole history.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: CpuConfig,
+        costs: InstructionCosts,
+        pe_id: int = 0,
+    ):
+        self.env = env
+        self.config = config
+        self.costs = costs
+        self.pe_id = pe_id
+        self.resource = PriorityResource(env, capacity=config.cpus_per_pe, name=f"cpu[{pe_id}]")
+        self._window_start_time = 0.0
+        self._window_start_busy = 0.0
+        self._windowed_utilization = 0.0
+        self.total_instructions = 0.0
+
+    # -- service -----------------------------------------------------------
+    def seconds_for(self, instructions: float) -> float:
+        """CPU service time for a request of ``instructions``."""
+        return self.config.seconds_for(instructions)
+
+    def consume(
+        self, instructions: float, priority: int = PRIORITY_QUERY
+    ) -> Generator:
+        """Simulation process step: occupy the CPU for ``instructions``.
+
+        Demands larger than the scheduling quantum are served in slices so
+        that concurrently running transactions share the CPU in a
+        round-robin fashion (and higher-priority OLTP work gets in between
+        slices) instead of waiting for one another's full demand.
+
+        Usage inside a process: ``yield from cpu.consume(50_000)``.
+        """
+        if instructions <= 0:
+            return
+        self.total_instructions += instructions
+        quantum = max(1, self.config.quantum_instructions)
+        remaining = instructions
+        while remaining > 0:
+            slice_instructions = min(remaining, quantum)
+            with self.resource.request(priority=priority) as req:
+                yield req
+                yield self.env.timeout(self.seconds_for(slice_instructions))
+            remaining -= slice_instructions
+
+    # -- utilisation -------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        """Lifetime average utilisation (0..1)."""
+        return self.resource.utilization()
+
+    def close_window(self) -> float:
+        """Close the current measurement window and return its utilisation.
+
+        Called by the control node every report interval.
+        """
+        now, busy = self.resource.snapshot()
+        elapsed = now - self._window_start_time
+        if elapsed > 0:
+            self._windowed_utilization = min(
+                1.0,
+                (busy - self._window_start_busy) / (elapsed * self.config.cpus_per_pe),
+            )
+        self._window_start_time = now
+        self._window_start_busy = busy
+        return self._windowed_utilization
+
+    @property
+    def recent_utilization(self) -> float:
+        """Utilisation of the most recently closed window."""
+        return self._windowed_utilization
+
+    @property
+    def queue_length(self) -> int:
+        """Number of CPU requests currently waiting."""
+        return self.resource.queue_length

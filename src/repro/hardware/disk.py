@@ -1,0 +1,193 @@
+"""Disk subsystem of a processing element.
+
+Disks and disk controllers are explicit servers (paper §4) so that I/O
+bottlenecks show up as queueing delays.  The controller owns an LRU disk
+cache and a prefetching mechanism: a cache miss during a sequential access
+reads ``prefetch_pages`` consecutive pages in one physical I/O, so subsequent
+pages hit the cache.
+
+The unit of work is a *page*; callers ask for sequential or random reads and
+writes of a number of pages and the subsystem translates that into physical
+I/Os, controller service and disk busy time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Generator, List, Optional, Tuple
+
+from repro.config.parameters import DiskConfig
+from repro.sim import Environment, Resource
+
+__all__ = ["LruCache", "DiskArray"]
+
+
+class LruCache:
+    """A simple LRU page cache keyed by arbitrary hashable page identifiers."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._pages: "OrderedDict[object, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._pages
+
+    def access(self, key: object) -> bool:
+        """Record an access; returns True on hit, False on miss (and inserts)."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(key)
+        return False
+
+    def insert(self, key: object) -> None:
+        """Insert a page, evicting the least recently used one if needed."""
+        if self.capacity == 0:
+            return
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            return
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+        self._pages[key] = None
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DiskArray:
+    """All disks of one PE plus their controller and cache.
+
+    Physical I/Os are dispatched to the least-loaded disk (shortest queue,
+    then fewest users), which approximates the striping of fragments and
+    temporary files over the PE's disks.
+    """
+
+    def __init__(self, env: Environment, config: DiskConfig, pe_id: int = 0):
+        self.env = env
+        self.config = config
+        self.pe_id = pe_id
+        count = max(1, config.disks_per_pe)
+        self.disks: List[Resource] = [
+            Resource(env, capacity=1, name=f"disk[{pe_id}.{index}]") for index in range(count)
+        ]
+        self.controller = Resource(env, capacity=1, name=f"diskctl[{pe_id}]")
+        self.cache = LruCache(config.cache_pages)
+        self.pages_read = 0
+        self.pages_written = 0
+        self.physical_ios = 0
+
+    # -- helpers -----------------------------------------------------------
+    def _pick_disk(self, preferred: Optional[int] = None) -> Resource:
+        if preferred is not None:
+            return self.disks[preferred % len(self.disks)]
+        return min(self.disks, key=lambda disk: (disk.queue_length, disk.count))
+
+    def _physical_io(
+        self, disk: Resource, busy_time: float, controller_pages: int
+    ) -> Generator:
+        """One physical I/O: queue at the disk, then at the controller."""
+        self.physical_ios += 1
+        with disk.request() as req:
+            yield req
+            yield self.env.timeout(busy_time)
+        controller_time = self.config.controller_time(controller_pages)
+        if controller_time > 0:
+            with self.controller.request() as req:
+                yield req
+                yield self.env.timeout(controller_time)
+
+    # -- public operations ---------------------------------------------------
+    def read_sequential(
+        self, pages: int, preferred_disk: Optional[int] = None
+    ) -> Generator:
+        """Sequential read of ``pages`` pages with controller prefetching.
+
+        Used for relation scans, clustered index scans and temporary file
+        scans.  One physical I/O is issued per ``prefetch_pages`` pages.
+        """
+        if pages <= 0:
+            return
+        self.pages_read += pages
+        prefetch = max(1, self.config.prefetch_pages)
+        remaining = pages
+        while remaining > 0:
+            chunk = min(prefetch, remaining)
+            busy = self.config.sequential_io_time(chunk)
+            yield from self._physical_io(self._pick_disk(preferred_disk), busy, chunk)
+            remaining -= chunk
+
+    def read_random(self, page_key: object = None, preferred_disk: Optional[int] = None) -> Generator:
+        """Random single-page read, going through the controller LRU cache."""
+        self.pages_read += 1
+        if page_key is not None and self.cache.access(page_key):
+            # Cache hit: controller service and transmission only.
+            with self.controller.request() as req:
+                yield req
+                yield self.env.timeout(self.config.controller_time(1))
+            return
+        busy = self.config.random_io_time()
+        yield from self._physical_io(self._pick_disk(preferred_disk), busy, 1)
+
+    def write_sequential(
+        self, pages: int, preferred_disk: Optional[int] = None
+    ) -> Generator:
+        """Sequential write of ``pages`` pages (temporary files, checkpoints)."""
+        if pages <= 0:
+            return
+        self.pages_written += pages
+        prefetch = max(1, self.config.prefetch_pages)
+        remaining = pages
+        while remaining > 0:
+            chunk = min(prefetch, remaining)
+            busy = self.config.sequential_io_time(chunk)
+            yield from self._physical_io(self._pick_disk(preferred_disk), busy, chunk)
+            remaining -= chunk
+
+    def write_random(self, preferred_disk: Optional[int] = None) -> Generator:
+        """Random single-page write (log forces, dirty page flushes)."""
+        self.pages_written += 1
+        busy = self.config.random_io_time()
+        yield from self._physical_io(self._pick_disk(preferred_disk), busy, 1)
+
+    # -- statistics ----------------------------------------------------------
+    def utilization(self) -> float:
+        """Average utilisation across all disks of this PE."""
+        if not self.disks:
+            return 0.0
+        return sum(disk.utilization() for disk in self.disks) / len(self.disks)
+
+    def snapshot(self) -> Tuple[float, float]:
+        """(now, aggregate busy time) for differential utilisation."""
+        now = self.env.now
+        busy = sum(disk.busy_time() for disk in self.disks)
+        return now, busy
+
+    def utilization_since(self, snapshot: Tuple[float, float]) -> float:
+        """Average utilisation across disks since ``snapshot``."""
+        then, busy_then = snapshot
+        now, busy_now = self.snapshot()
+        elapsed = now - then
+        if elapsed <= 0 or not self.disks:
+            return 0.0
+        return min(1.0, (busy_now - busy_then) / (elapsed * len(self.disks)))
+
+    @property
+    def queue_length(self) -> int:
+        """Total number of waiting I/O requests across the PE's disks."""
+        return sum(disk.queue_length for disk in self.disks)

@@ -1,0 +1,94 @@
+"""Interconnection network between processing elements.
+
+The network transmits fixed-size packets (paper §4); messages larger than a
+packet are disassembled into the required number of packets.  Most of the
+communication cost is CPU time at the sender (send + copy per packet) and the
+receiver (receive + copy per packet); the wire itself is a scalable
+high-speed interconnect and is modelled with a small per-packet latency plus
+bandwidth-limited transfer time.
+
+The network object is purely computational (no queueing): the caller charges
+the CPU costs on the appropriate :class:`~repro.hardware.cpu.CpuServer` and
+waits for :meth:`transfer_time`.  An optional global bandwidth resource can be
+enabled to study interconnect saturation, but is off by default because the
+paper treats the network as non-bottleneck.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.config.parameters import InstructionCosts, NetworkConfig
+from repro.sim import Environment, Resource
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Packet-based interconnect with CPU-cost accounting helpers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: NetworkConfig,
+        costs: InstructionCosts,
+        model_contention: bool = False,
+        link_capacity: int = 64,
+    ):
+        self.env = env
+        self.config = config
+        self.costs = costs
+        self.messages_sent = 0
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._fabric: Optional[Resource] = (
+            Resource(env, capacity=link_capacity, name="network") if model_contention else None
+        )
+
+    # -- size helpers -------------------------------------------------------
+    def packets_for(self, nbytes: int) -> int:
+        """Number of packets for a message of ``nbytes``."""
+        return self.config.packets_for(nbytes)
+
+    def packets_for_tuples(self, tuples: int, tuple_size_bytes: int) -> int:
+        """Packets needed to ship ``tuples`` tuples of the given size."""
+        if tuples <= 0:
+            return 0
+        return self.packets_for(tuples * tuple_size_bytes)
+
+    # -- CPU cost helpers -----------------------------------------------------
+    def send_instructions(self, nbytes: int) -> float:
+        """CPU instructions charged at the sender for one message."""
+        packets = self.packets_for(nbytes)
+        return packets * (self.costs.send_message + self.costs.copy_message_packet)
+
+    def receive_instructions(self, nbytes: int) -> float:
+        """CPU instructions charged at the receiver for one message."""
+        packets = self.packets_for(nbytes)
+        return packets * (self.costs.receive_message + self.costs.copy_message_packet)
+
+    def control_message_instructions(self) -> tuple[float, float]:
+        """(sender, receiver) CPU instructions for a small control message."""
+        return (
+            float(self.costs.send_message),
+            float(self.costs.receive_message),
+        )
+
+    # -- wire time ------------------------------------------------------------
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire latency + transfer time for one message."""
+        return self.config.transfer_time(nbytes)
+
+    def transfer(self, nbytes: int):
+        """Simulation step: occupy the fabric (if modelled) for the transfer."""
+        self.messages_sent += 1
+        self.packets_sent += self.packets_for(nbytes)
+        self.bytes_sent += max(0, nbytes)
+        delay = self.transfer_time(nbytes)
+        if self._fabric is None:
+            yield self.env.timeout(delay)
+            return
+        with self._fabric.request() as req:
+            yield req
+            yield self.env.timeout(delay)

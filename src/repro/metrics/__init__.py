@@ -1,0 +1,5 @@
+"""Metrics collection and summary statistics."""
+
+from repro.metrics.collector import MetricsCollector, UtilizationSnapshot
+
+__all__ = ["MetricsCollector", "UtilizationSnapshot"]

@@ -1,0 +1,49 @@
+"""Dynamic multi-resource load balancing: the paper's core contribution."""
+
+from repro.scheduling.control_node import ControlNode, NodeStatus
+from repro.scheduling.cost_model import CostModel, JoinProfile
+from repro.scheduling.degree import (
+    DynamicCpuDegree,
+    FixedDegree,
+    StaticNoIODegree,
+    StaticSuOptDegree,
+)
+from repro.scheduling.integrated import MinIOStrategy, MinIOSuOptStrategy, OptIOCpuStrategy
+from repro.scheduling.placement import (
+    LeastUtilizedCpuPlacement,
+    LeastUtilizedMemoryPlacement,
+    RandomPlacement,
+)
+from repro.scheduling.strategy import (
+    STRATEGIES,
+    IsolatedStrategy,
+    JoinPlan,
+    LoadBalancingStrategy,
+    SchedulingContext,
+    make_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "ControlNode",
+    "NodeStatus",
+    "CostModel",
+    "JoinProfile",
+    "DynamicCpuDegree",
+    "FixedDegree",
+    "StaticNoIODegree",
+    "StaticSuOptDegree",
+    "MinIOStrategy",
+    "MinIOSuOptStrategy",
+    "OptIOCpuStrategy",
+    "LeastUtilizedCpuPlacement",
+    "LeastUtilizedMemoryPlacement",
+    "RandomPlacement",
+    "STRATEGIES",
+    "IsolatedStrategy",
+    "JoinPlan",
+    "LoadBalancingStrategy",
+    "SchedulingContext",
+    "make_strategy",
+    "strategy_names",
+]

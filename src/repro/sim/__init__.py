@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel used by the parallel database simulator."""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.monitor import TimeWeightedMonitor, ValueMonitor
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "TimeWeightedMonitor",
+    "ValueMonitor",
+]

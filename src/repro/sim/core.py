@@ -1,0 +1,396 @@
+"""Generator-based discrete-event simulation kernel.
+
+This is the substrate on which the whole Shared Nothing database simulator is
+built.  The design follows the classic process-interaction style (as in SimPy):
+simulation processes are Python generators that ``yield`` :class:`Event`
+objects; the :class:`Environment` advances simulated time and resumes processes
+when the events they wait on are triggered.
+
+Only the features actually needed by the database simulator are implemented,
+which keeps the kernel small, fast and easy to test:
+
+* :class:`Environment` -- event queue and clock.
+* :class:`Event` -- one-shot events with success/failure values.
+* :class:`Timeout` -- an event triggered after a simulated delay.
+* :class:`Process` -- wraps a generator into an event (its termination).
+* :class:`AllOf` / :class:`AnyOf` -- condition events.
+
+Resource abstractions (servers, token pools, stores) live in
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "PENDING",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Pending:
+    """Sentinel for the value of an event that has not been triggered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers them, which schedules them for processing; at processing time
+    every registered callback is invoked exactly once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value of the event (raises if still pending)."""
+        if self._value is PENDING:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every process waiting on the event.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (callback use)."""
+        if self._value is not PENDING:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that triggers when the generator
+    terminates; its value is the generator's return value.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process before it starts")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.callbacks.append(self._resume)
+        # Bypass the regular waiting: stop listening to the old target.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self.env._schedule(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                # Propagate failures (or interrupts) into the generator.
+                exc = event._value
+                next_event = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._target = None
+            self.env._active_process = None
+            if self._value is PENDING:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.env._active_process = None
+            if self._value is PENDING:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+            else:  # pragma: no cover - defensive
+                raise
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed -- resume immediately at the current time.
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base class for AllOf / AnyOf condition events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            index: event._value
+            for index, event in enumerate(self.events)
+            if event.triggered and event._ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when all component events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when any component event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Simulation environment: clock, event queue and scheduler."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None outside callbacks)."""
+        return self._active_process
+
+    # -- event creation --------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers once any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, 0, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok:
+            # A failed event (or crashed process) nobody waits for is a
+            # programming error: surface it instead of silently dropping it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue is exhausted or ``until`` is reached."""
+        if until is not None and until < self._now:
+            raise SimulationError(f"until ({until}) lies in the past")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

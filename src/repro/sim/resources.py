@@ -1,0 +1,314 @@
+"""Resource abstractions for the discrete-event kernel.
+
+Three families of shared entities are provided, mirroring what the database
+simulator needs:
+
+* :class:`Resource` / :class:`PriorityResource` -- a server (or a set of
+  servers) with a request queue.  CPUs, disks, disk controllers and the
+  network links are modelled as resources.
+* :class:`Container` -- a pool of homogeneous "stuff" (e.g. memory pages)
+  with blocking ``get``/``put``.
+* :class:`Store` -- a queue of discrete items (e.g. messages) with blocking
+  ``get``/``put``.
+
+All request-like events are context managers so the canonical usage is::
+
+    with resource.request() as req:
+        yield req
+        yield env.timeout(service_time)
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_key", "cancelled")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._key = next(resource._counter)
+        self.cancelled = False
+
+    # Context manager protocol: releases the slot on exit.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op once granted)."""
+        if not self.triggered:
+            self.cancelled = True
+            self.resource._remove_from_queue(self)
+
+
+class Resource:
+    """A FIFO multi-server resource.
+
+    ``capacity`` servers are available; additional requests queue in FIFO
+    order.  Utilisation accounting (busy server time) is kept so that the
+    control node can compute CPU/disk utilisation without extra bookkeeping
+    in the callers.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+        self._counter = itertools.count()
+        # Utilisation accounting.
+        self._busy_time = 0.0
+        self._last_change = env.now
+        self._busy_servers = 0
+
+    # -- accounting ------------------------------------------------------
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self._busy_servers * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self.queue)
+
+    def busy_time(self) -> float:
+        """Aggregate busy server-time accumulated so far."""
+        self._account()
+        return self._busy_time
+
+    def utilization(self, since_time: float = 0.0, since_busy: float = 0.0) -> float:
+        """Average utilisation (0..1) since a reference point."""
+        self._account()
+        elapsed = self.env.now - since_time
+        if elapsed <= 0:
+            return 0.0
+        return (self._busy_time - since_busy) / (elapsed * self.capacity)
+
+    def snapshot(self) -> tuple[float, float]:
+        """Return (now, busy_time) for later differential utilisation."""
+        self._account()
+        return self.env.now, self._busy_time
+
+    # -- queueing --------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        """Request one server slot; the returned event triggers when granted."""
+        req = Request(self, priority)
+        self._enqueue(req)
+        self._trigger_queue()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted slot (ungranted requests are cancelled)."""
+        if request in self.users:
+            self._account()
+            self.users.remove(request)
+            self._busy_servers = len(self.users)
+            self._trigger_queue()
+        else:
+            request.cancel()
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+
+    def _remove_from_queue(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _next_request(self) -> Optional[Request]:
+        while self.queue:
+            req = self.queue[0]
+            if req.cancelled:
+                self.queue.popleft()
+                continue
+            return req
+        return None
+
+    def _trigger_queue(self) -> None:
+        while len(self.users) < self.capacity:
+            req = self._next_request()
+            if req is None:
+                return
+            self.queue.popleft()
+            self._account()
+            self.users.append(req)
+            self._busy_servers = len(self.users)
+            req.succeed(self)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by priority (lower value first).
+
+    Ties are broken FIFO via the per-resource request counter.  This is used
+    for CPUs when OLTP transactions must take precedence over complex query
+    work (see the paper's memory-adaptive join discussion, footnote 4).
+    """
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+
+    def _next_request(self) -> Optional[Request]:
+        best: Optional[Request] = None
+        for req in self.queue:
+            if req.cancelled:
+                continue
+            if best is None or (req.priority, req._key) < (best.priority, best._key):
+                best = req
+        return best
+
+    def _trigger_queue(self) -> None:
+        while len(self.users) < self.capacity:
+            req = self._next_request()
+            if req is None:
+                # Drop cancelled leftovers to keep the queue short.
+                self.queue = deque(r for r in self.queue if not r.cancelled)
+                return
+            self.queue.remove(req)
+            self._account()
+            self.users.append(req)
+            self._busy_servers = len(self.users)
+            req.succeed(self)
+
+
+class Container:
+    """A pool of continuous or discrete capacity with blocking get/put.
+
+    Used for token-style accounting (e.g. free page frames).  ``get``
+    requests are served FIFO; a larger request blocks smaller later ones to
+    preserve fairness (no starvation of big memory requests).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if init < 0 or init > capacity:
+            raise SimulationError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Currently available amount."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Blocking request to remove ``amount`` from the container."""
+        if amount < 0:
+            raise SimulationError("amount must be non-negative")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._serve()
+        return event
+
+    def put(self, amount: float) -> Event:
+        """Blocking request to add ``amount`` to the container."""
+        if amount < 0:
+            raise SimulationError("amount must be non-negative")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._serve()
+        return event
+
+    def _serve(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(amount)
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """An unbounded (or bounded) queue of discrete items with blocking get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Add an item; blocks while the store is at capacity."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._serve()
+        return event
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return the first item (optionally matching a filter)."""
+        event = Event(self.env)
+        self._getters.append((event, filter_fn))
+        self._serve()
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _serve(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progress = True
+            if self._getters and self.items:
+                event, filter_fn = self._getters[0]
+                found = None
+                if filter_fn is None:
+                    found = self.items.popleft()
+                else:
+                    for candidate in self.items:
+                        if filter_fn(candidate):
+                            found = candidate
+                            self.items.remove(candidate)
+                            break
+                if found is not None:
+                    self._getters.popleft()
+                    event.succeed(found)
+                    progress = True
+                else:
+                    break

@@ -1,0 +1,7 @@
+"""System composition and simulation driving."""
+
+from repro.simulation.driver import SimulationDriver
+from repro.simulation.results import SimulationResult
+from repro.simulation.system import ParallelSystem
+
+__all__ = ["SimulationDriver", "SimulationResult", "ParallelSystem"]

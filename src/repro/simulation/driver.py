@@ -1,0 +1,134 @@
+"""Simulation driver: runs workloads against a :class:`ParallelSystem`.
+
+Two modes of operation mirror the paper's experiments:
+
+* **multi-user mode** -- an open arrival stream per workload class
+  (inter-query/inter-transaction parallelism); the driver discards a warm-up
+  prefix and measures until a target number of join queries has completed or
+  a simulated-time limit is reached.
+* **single-user mode** -- exactly one join query in the system at a time
+  (closed loop), which is the baseline the paper plots alongside the
+  multi-user curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.config.parameters import SystemConfig
+from repro.scheduling.strategy import LoadBalancingStrategy
+from repro.simulation.results import SimulationResult
+from repro.simulation.system import ParallelSystem
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+from repro.workload.query import JoinQuery
+
+__all__ = ["SimulationDriver"]
+
+
+@dataclass
+class _RunLimits:
+    warmup_joins: int
+    measured_joins: int
+    max_simulated_time: float
+    step: float = 0.5
+
+
+class SimulationDriver:
+    """Builds a system for a configuration/strategy pair and runs workloads."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        strategy: Union[str, LoadBalancingStrategy] = "OPT-IO-CPU",
+    ):
+        self.config = config
+        self.system = ParallelSystem(config, strategy)
+        self.env = self.system.env
+
+    # -- multi-user ----------------------------------------------------------------
+    def run_multi_user(
+        self,
+        spec: Optional[WorkloadSpec] = None,
+        warmup_joins: int = 20,
+        measured_joins: int = 100,
+        max_simulated_time: float = 600.0,
+    ) -> SimulationResult:
+        """Run an open multi-user workload and summarise the measurement phase."""
+        if spec is None:
+            spec = (
+                WorkloadSpec.mixed_join_oltp(self.config)
+                if self.config.oltp is not None
+                else WorkloadSpec.homogeneous_join(self.config)
+            )
+        generator = WorkloadGenerator(self.env, spec, self.system.submit)
+        self.system.start()
+        generator.start()
+
+        limits = _RunLimits(
+            warmup_joins=warmup_joins,
+            measured_joins=measured_joins,
+            max_simulated_time=max_simulated_time,
+        )
+        self._advance_until(lambda: self.system.metrics.joins_completed >= limits.warmup_joins, limits)
+        self.system.metrics.start_measurement(self.system.pes)
+        self._advance_until(
+            lambda: self.system.metrics.joins_completed >= limits.measured_joins, limits
+        )
+        return self._summarise(mode="multi-user")
+
+    def _advance_until(self, predicate, limits: _RunLimits) -> None:
+        while not predicate() and self.env.now < limits.max_simulated_time:
+            self.env.run(until=min(self.env.now + limits.step, limits.max_simulated_time))
+
+    # -- single-user ----------------------------------------------------------------------
+    def run_single_user(self, num_queries: int = 10) -> SimulationResult:
+        """Run ``num_queries`` join queries back to back (one at a time)."""
+        self.system.start()
+        self.system.metrics.start_measurement(self.system.pes)
+        join_cfg = self.config.join_query
+
+        def closed_loop():
+            for _ in range(num_queries):
+                query = JoinQuery(
+                    inner_relation=self.config.relation_a.name,
+                    outer_relation=self.config.relation_b.name,
+                    scan_selectivity=join_cfg.scan_selectivity,
+                    result_fraction_of_inner=join_cfg.result_fraction_of_inner,
+                    fudge_factor=join_cfg.fudge_factor,
+                    arrival_time=self.env.now,
+                )
+                self.system._join_router.route(query)
+                yield self.env.process(self.system._run_join(query))
+
+        process = self.env.process(closed_loop())
+        # The control node and deadlock detector generate events forever, so
+        # advance time in slices until the closed loop has finished.
+        while process.is_alive:
+            self.env.run(until=self.env.now + 1.0)
+        return self._summarise(mode="single-user")
+
+    # -- summary -------------------------------------------------------------------------------
+    def _summarise(self, mode: str) -> SimulationResult:
+        metrics = self.system.metrics
+        pes = self.system.pes
+        duration = max(metrics.measurement_duration, 1e-9)
+        return SimulationResult(
+            strategy=self.system.strategy.name,
+            num_pe=self.config.num_pe,
+            mode=mode,
+            simulated_seconds=metrics.measurement_duration,
+            joins_completed=metrics.joins_completed,
+            join_response_time=metrics.join_response_times.mean,
+            join_response_time_p95=metrics.join_response_times.percentile(95),
+            join_response_time_ci=metrics.join_response_times.confidence_interval(),
+            average_degree=metrics.join_degrees.mean,
+            average_overflow_pages=metrics.join_overflow_pages.mean,
+            average_memory_wait=metrics.join_memory_waits.mean,
+            cpu_utilization=metrics.average_cpu_utilization(pes),
+            disk_utilization=metrics.average_disk_utilization(pes),
+            memory_utilization=metrics.average_memory_utilization(pes),
+            oltp_completed=metrics.oltp_completed,
+            oltp_response_time=metrics.oltp_response_times.mean,
+            join_throughput=metrics.joins_completed / duration,
+        )

@@ -1,0 +1,71 @@
+"""Result records produced by simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run (one point of one experiment curve)."""
+
+    strategy: str
+    num_pe: int
+    mode: str  # "single-user" or "multi-user"
+    simulated_seconds: float
+    joins_completed: int
+    join_response_time: float  # mean, seconds
+    join_response_time_p95: float
+    join_response_time_ci: float  # 95 % confidence half-width
+    average_degree: float
+    average_overflow_pages: float
+    average_memory_wait: float
+    cpu_utilization: float
+    disk_utilization: float
+    memory_utilization: float
+    oltp_completed: int = 0
+    oltp_response_time: float = 0.0
+    join_throughput: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def join_response_time_ms(self) -> float:
+        """Mean join response time in milliseconds (the paper's unit)."""
+        return self.join_response_time * 1e3
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dictionary representation (for reports and CSV export)."""
+        data = {
+            "strategy": self.strategy,
+            "num_pe": self.num_pe,
+            "mode": self.mode,
+            "simulated_seconds": round(self.simulated_seconds, 3),
+            "joins_completed": self.joins_completed,
+            "join_rt_ms": round(self.join_response_time_ms, 1),
+            "join_rt_p95_ms": round(self.join_response_time_p95 * 1e3, 1),
+            "join_rt_ci_ms": round(self.join_response_time_ci * 1e3, 1),
+            "avg_degree": round(self.average_degree, 1),
+            "avg_overflow_pages": round(self.average_overflow_pages, 1),
+            "avg_memory_wait_ms": round(self.average_memory_wait * 1e3, 1),
+            "cpu_util": round(self.cpu_utilization, 3),
+            "disk_util": round(self.disk_utilization, 3),
+            "mem_util": round(self.memory_utilization, 3),
+            "join_throughput_qps": round(self.join_throughput, 3),
+            "oltp_completed": self.oltp_completed,
+            "oltp_rt_ms": round(self.oltp_response_time * 1e3, 1),
+        }
+        data.update({key: round(value, 4) for key, value in self.extras.items()})
+        return data
+
+    def row(self) -> str:
+        """One formatted report line."""
+        return (
+            f"{self.strategy:<18} n={self.num_pe:<3d} {self.mode:<11} "
+            f"rt={self.join_response_time_ms:8.1f} ms  "
+            f"p={self.average_degree:5.1f}  ovfl={self.average_overflow_pages:7.1f}  "
+            f"cpu={self.cpu_utilization:5.2f} disk={self.disk_utilization:5.2f} "
+            f"mem={self.memory_utilization:5.2f}"
+        )

@@ -1,0 +1,160 @@
+"""The complete simulated Shared Nothing database machine.
+
+:class:`ParallelSystem` wires together everything the paper's simulation
+system contains (Fig. 3): the processing elements with their local
+components, the communication network, the database allocation, the control
+node for dynamic load balancing, central deadlock detection, and the
+transaction processing paths for join queries and OLTP transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.config.parameters import SystemConfig
+from repro.database.catalog import Catalog
+from repro.engine.deadlock import DeadlockDetector
+from repro.engine.pe import ProcessingElement
+from repro.engine.twopc import CommitStatistics
+from repro.execution.oltp import execute_oltp_transaction
+from repro.execution.parallel_join import execute_join_query
+from repro.hardware.network import Network
+from repro.metrics.collector import MetricsCollector
+from repro.scheduling.control_node import ControlNode
+from repro.scheduling.cost_model import CostModel
+from repro.scheduling.strategy import (
+    LoadBalancingStrategy,
+    SchedulingContext,
+    make_strategy,
+)
+from repro.sim import Environment
+from repro.workload.query import JoinQuery, OltpTransaction, Transaction
+from repro.workload.router import AffinityRouter, RandomRouter
+from repro.workload.tpcb import build_cost_profile
+
+__all__ = ["ParallelSystem"]
+
+
+class ParallelSystem:
+    """A runnable Shared Nothing system with a selected load balancing strategy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        strategy: Union[str, LoadBalancingStrategy] = "OPT-IO-CPU",
+        env: Optional[Environment] = None,
+    ):
+        self.config = config
+        self.env = env if env is not None else Environment()
+        self.strategy: LoadBalancingStrategy = (
+            make_strategy(strategy, seed=config.seed) if isinstance(strategy, str) else strategy
+        )
+
+        # Hardware and node components.
+        self.deadlock_detector = DeadlockDetector(
+            self.env, detection_interval=1.0, abort_callback=self._abort_waiter
+        )
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(self.env, pe_id, config, self.deadlock_detector)
+            for pe_id in range(config.num_pe)
+        ]
+        self.network = Network(self.env, config.network, config.costs)
+        self.catalog = Catalog.from_config(config)
+        self.cost_model = CostModel(config)
+        self.control_node = ControlNode(self.env, self.pes, config.control)
+        self.commit_stats = CommitStatistics()
+        self.metrics = MetricsCollector(self.env)
+
+        # Workload routing.
+        self._join_router = RandomRouter(list(range(config.num_pe)), seed=config.seed + 1)
+        oltp_nodes = (
+            config.a_node_ids
+            if config.oltp is not None and config.oltp.placement.upper() == "A"
+            else config.b_node_ids
+        )
+        self._oltp_router = AffinityRouter(
+            oltp_pe_ids=list(oltp_nodes) or [0],
+            all_pe_ids=list(range(config.num_pe)),
+            seed=config.seed + 2,
+        )
+        self._oltp_profile = (
+            build_cost_profile(config.oltp, config.costs) if config.oltp is not None else None
+        )
+        self._oltp_rng = random.Random(config.seed + 3)
+        self._started = False
+        self.submitted = 0
+        self.rejected = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background control processes (reporting, deadlock sweep)."""
+        if self._started:
+            return
+        self._started = True
+        self.control_node.start()
+        self.deadlock_detector.start()
+
+    def _abort_waiter(self, txn_id: int) -> bool:
+        aborted = False
+        for pe in self.pes:
+            aborted = pe.locks.abort_waiter(txn_id) or aborted
+        return aborted
+
+    # -- submission ---------------------------------------------------------------------
+    def submit(self, transaction: Transaction) -> None:
+        """Accept a new transaction or query (called by the workload generator)."""
+        self.start()
+        self.submitted += 1
+        if isinstance(transaction, JoinQuery):
+            self._join_router.route(transaction)
+            self.env.process(self._run_join(transaction))
+        elif isinstance(transaction, OltpTransaction):
+            self._oltp_router.route(transaction)
+            self.env.process(self._run_oltp(transaction))
+        else:
+            self.rejected += 1
+            raise TypeError(f"unsupported transaction type: {type(transaction).__name__}")
+
+    # -- execution paths --------------------------------------------------------------------
+    def scheduling_context(self) -> SchedulingContext:
+        return SchedulingContext(cost_model=self.cost_model, control=self.control_node)
+
+    def _run_join(self, query: JoinQuery):
+        coordinator = self.pes[query.coordinator_pe]
+        slot = yield from coordinator.transactions.admit(query)
+        try:
+            plan = self.strategy.plan_join(query, self.scheduling_context())
+            result = yield from execute_join_query(self, query, plan)
+            self.metrics.record_join(
+                response_time=self.env.now - query.arrival_time,
+                degree=plan.degree,
+                overflow_pages=result.overflow_pages,
+                memory_wait=result.memory_wait_time,
+            )
+        finally:
+            coordinator.transactions.finish(query, slot)
+
+    def _run_oltp(self, transaction: OltpTransaction):
+        home = self.pes[transaction.home_pe]
+        slot = yield from home.transactions.admit(transaction)
+        try:
+            yield from execute_oltp_transaction(
+                self, transaction, profile=self._oltp_profile, rng=self._oltp_rng
+            )
+            self.metrics.record_oltp(self.env.now - transaction.arrival_time)
+        finally:
+            home.transactions.finish(transaction, slot)
+
+    # -- convenience ---------------------------------------------------------------------------
+    def average_cpu_utilization(self) -> float:
+        return self.metrics.average_cpu_utilization(self.pes)
+
+    def average_disk_utilization(self) -> float:
+        return self.metrics.average_disk_utilization(self.pes)
+
+    def average_memory_utilization(self) -> float:
+        return self.metrics.average_memory_utilization(self.pes)
+
+    def describe(self) -> str:
+        return f"{self.config.describe()} | strategy {self.strategy.name}"

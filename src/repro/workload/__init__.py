@@ -1,0 +1,40 @@
+"""Workload model: query classes, arrival generation, routing, OLTP, traces."""
+
+from repro.workload.generator import (
+    WorkloadClass,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+from repro.workload.query import (
+    JoinQuery,
+    OltpTransaction,
+    QueryClass,
+    ScanQuery,
+    Transaction,
+    UpdateStatement,
+)
+from repro.workload.router import AffinityRouter, RandomRouter, RoundRobinRouter, Router
+from repro.workload.tpcb import OltpCostProfile, build_cost_profile
+from repro.workload.traces import Trace, TraceRecord, TraceReplayer, generate_trace
+
+__all__ = [
+    "WorkloadClass",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "JoinQuery",
+    "OltpTransaction",
+    "QueryClass",
+    "ScanQuery",
+    "Transaction",
+    "UpdateStatement",
+    "AffinityRouter",
+    "RandomRouter",
+    "RoundRobinRouter",
+    "Router",
+    "OltpCostProfile",
+    "build_cost_profile",
+    "Trace",
+    "TraceRecord",
+    "TraceReplayer",
+    "generate_trace",
+]

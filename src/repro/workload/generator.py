@@ -1,0 +1,143 @@
+"""Open-queuing workload generation.
+
+The simulation system is an open queuing model: every transaction and query
+type has its own arrival process (paper §4).  Arrival processes are Poisson
+(exponential inter-arrival times) by default; deterministic arrivals are
+available for tests and for single-user experiments where exactly one query
+is in the system at a time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.config.parameters import JoinQueryConfig, OltpConfig, SystemConfig
+from repro.sim import Environment
+from repro.workload.query import JoinQuery, OltpTransaction, Transaction
+
+__all__ = ["ArrivalProcess", "WorkloadClass", "WorkloadSpec", "WorkloadGenerator"]
+
+#: Type of the factory creating a fresh transaction for each arrival.
+TransactionFactory = Callable[[], Transaction]
+#: Type of the sink receiving generated transactions (the system driver).
+Submitter = Callable[[Transaction], None]
+
+
+@dataclass
+class WorkloadClass:
+    """One transaction/query class with its own arrival stream."""
+
+    name: str
+    factory: TransactionFactory
+    arrival_rate: float  # arrivals per second over the whole system
+    deterministic: bool = False  # exponential (False) or fixed inter-arrival
+
+    def interarrival(self, rng: random.Random) -> float:
+        if self.arrival_rate <= 0:
+            return float("inf")
+        mean = 1.0 / self.arrival_rate
+        return mean if self.deterministic else rng.expovariate(self.arrival_rate)
+
+
+@dataclass
+class WorkloadSpec:
+    """A heterogeneous workload: a list of classes sharing one random seed."""
+
+    classes: List[WorkloadClass] = field(default_factory=list)
+    seed: int = 42
+
+    def add(self, workload_class: WorkloadClass) -> "WorkloadSpec":
+        self.classes.append(workload_class)
+        return self
+
+    @classmethod
+    def homogeneous_join(
+        cls, config: SystemConfig, arrival_rate_per_pe: Optional[float] = None
+    ) -> "WorkloadSpec":
+        """Join-only workload: rate grows proportionally with the system size."""
+        join_cfg = config.join_query
+        rate_per_pe = (
+            join_cfg.arrival_rate_per_pe if arrival_rate_per_pe is None else arrival_rate_per_pe
+        )
+
+        def make_join() -> JoinQuery:
+            return JoinQuery(
+                inner_relation=config.relation_a.name,
+                outer_relation=config.relation_b.name,
+                scan_selectivity=join_cfg.scan_selectivity,
+                result_fraction_of_inner=join_cfg.result_fraction_of_inner,
+                fudge_factor=join_cfg.fudge_factor,
+            )
+
+        spec = cls(seed=config.seed)
+        spec.add(
+            WorkloadClass(
+                name="join",
+                factory=make_join,
+                arrival_rate=rate_per_pe * config.num_pe,
+            )
+        )
+        return spec
+
+    @classmethod
+    def mixed_join_oltp(cls, config: SystemConfig) -> "WorkloadSpec":
+        """Heterogeneous workload: joins plus debit-credit OLTP (Fig. 9)."""
+        if config.oltp is None:
+            raise ValueError("mixed workload requires config.oltp to be set")
+        spec = cls.homogeneous_join(config)
+        oltp_cfg = config.oltp
+        oltp_nodes = (
+            config.a_node_ids if oltp_cfg.placement.upper() == "A" else config.b_node_ids
+        )
+        rng = random.Random(config.seed + 7)
+
+        def make_oltp() -> OltpTransaction:
+            return OltpTransaction(
+                home_pe=rng.choice(oltp_nodes),
+                tuple_accesses=oltp_cfg.tuple_accesses,
+            )
+
+        spec.add(
+            WorkloadClass(
+                name="oltp",
+                factory=make_oltp,
+                arrival_rate=oltp_cfg.arrival_rate_per_node * len(oltp_nodes),
+            )
+        )
+        return spec
+
+
+class WorkloadGenerator:
+    """Drives the arrival processes of a :class:`WorkloadSpec`.
+
+    For every class, a simulation process draws inter-arrival times, stamps
+    the new transaction with its arrival time and hands it to the submitter
+    (normally ``ParallelSystem.submit``).
+    """
+
+    def __init__(self, env: Environment, spec: WorkloadSpec, submit: Submitter):
+        self.env = env
+        self.spec = spec
+        self.submit = submit
+        self.generated: dict[str, int] = {cls.name: 0 for cls in spec.classes}
+        self._processes = []
+
+    def start(self) -> None:
+        """Start one arrival process per workload class."""
+        for index, workload_class in enumerate(self.spec.classes):
+            # Deterministic per-class seed (independent of PYTHONHASHSEED).
+            rng = random.Random(self.spec.seed * 1009 + index)
+            self._processes.append(self.env.process(self._arrivals(workload_class, rng)))
+
+    def _arrivals(self, workload_class: WorkloadClass, rng: random.Random):
+        if workload_class.arrival_rate <= 0:
+            return
+            yield  # pragma: no cover - makes this a generator
+        while True:
+            yield self.env.timeout(workload_class.interarrival(rng))
+            transaction = workload_class.factory()
+            transaction.arrival_time = self.env.now
+            self.generated[workload_class.name] += 1
+            self.submit(transaction)

@@ -1,0 +1,97 @@
+"""Synthetic trace support.
+
+The original simulation system could replay real-life database traces [18].
+Those traces are not available, so this module provides a synthetic
+equivalent: a trace is simply a time-ordered list of (arrival_time, class
+name) records that can be produced from any :class:`WorkloadSpec` and replayed
+deterministically.  This exercises the same code path in the driver (a
+pre-computed arrival list instead of on-line sampling).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.sim import Environment
+from repro.workload.generator import Submitter, WorkloadSpec
+from repro.workload.query import Transaction
+
+__all__ = ["TraceRecord", "Trace", "generate_trace", "TraceReplayer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One arrival in a trace."""
+
+    arrival_time: float
+    class_name: str
+
+
+@dataclass
+class Trace:
+    """A reproducible, time-ordered arrival trace."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        return self.records[-1].arrival_time if self.records else 0.0
+
+    def class_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.class_name] = counts.get(record.class_name, 0) + 1
+        return counts
+
+
+def generate_trace(spec: WorkloadSpec, duration: float, seed: int | None = None) -> Trace:
+    """Sample a trace of ``duration`` simulated seconds from a workload spec."""
+    rng = random.Random(spec.seed if seed is None else seed)
+    records: List[TraceRecord] = []
+    for workload_class in spec.classes:
+        if workload_class.arrival_rate <= 0:
+            continue
+        clock = 0.0
+        while True:
+            clock += workload_class.interarrival(rng)
+            if clock > duration:
+                break
+            records.append(TraceRecord(arrival_time=clock, class_name=workload_class.name))
+    records.sort(key=lambda record: record.arrival_time)
+    return Trace(records=records)
+
+
+class TraceReplayer:
+    """Replays a trace against the system, using the spec's factories."""
+
+    def __init__(self, env: Environment, spec: WorkloadSpec, trace: Trace, submit: Submitter):
+        self.env = env
+        self.spec = spec
+        self.trace = trace
+        self.submit = submit
+        self._factories = {cls.name: cls.factory for cls in spec.classes}
+        self.replayed = 0
+
+    def start(self) -> None:
+        self.env.process(self._replay())
+
+    def _replay(self):
+        for record in self.trace:
+            delay = record.arrival_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            factory = self._factories.get(record.class_name)
+            if factory is None:
+                raise KeyError(f"trace references unknown class {record.class_name!r}")
+            transaction: Transaction = factory()
+            transaction.arrival_time = self.env.now
+            self.replayed += 1
+            self.submit(transaction)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_strategies(capsys):
+    assert main(["list-strategies"]) == 0
+    output = capsys.readouterr().out
+    assert "OPT-IO-CPU" in output
+    assert "pmu_cpu+LUM" in output
+
+
+def test_parameters_table(capsys):
+    assert main(["parameters"]) == 0
+    output = capsys.readouterr().out
+    assert "20 MIPS" in output
+
+
+def test_simulate_single_user(capsys):
+    code = main([
+        "simulate", "--pe", "10", "--strategy", "psu_opt+RANDOM",
+        "--joins", "10", "--single-user",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "single-user" in output
+    assert "join_rt_ms" in output
+
+
+def test_simulate_multi_user_with_oltp(capsys):
+    code = main([
+        "simulate", "--pe", "10", "--strategy", "OPT-IO-CPU",
+        "--joins", "5", "--oltp", "A", "--time-limit", "30",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "OLTP" in output
+    assert "multi-user" in output
+
+
+def test_experiment_figure1(capsys):
+    code = main(["experiment", "figure1", "--joins", "10", "--sizes", "1", "8"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fig. 1a" in output
+
+
+def test_experiment_figure6_tiny(capsys):
+    code = main(["experiment", "figure6", "--joins", "5", "--sizes", "10", "--time-limit", "30"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fig. 6" in output
+    assert "OPT-IO-CPU" in output
+
+
+def test_parser_rejects_unknown_figure():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "figure42"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

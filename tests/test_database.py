@@ -1,0 +1,171 @@
+"""Tests for relations, fragments, indices, declustering and the catalog."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import OltpConfig, RelationConfig, SystemConfig
+from repro.database import BTreeIndex, Catalog, Fragment, Relation, decluster, split_evenly
+
+
+# -- split_evenly -----------------------------------------------------------
+def test_split_evenly_exact():
+    assert split_evenly(10, 5) == [2, 2, 2, 2, 2]
+
+
+def test_split_evenly_remainder_goes_first():
+    assert split_evenly(11, 3) == [4, 4, 3]
+
+
+def test_split_evenly_rejects_zero_parts():
+    with pytest.raises(ValueError):
+        split_evenly(10, 0)
+
+
+@given(st.integers(min_value=0, max_value=10_000_000), st.integers(min_value=1, max_value=200))
+def test_split_evenly_properties(total, parts):
+    shares = split_evenly(total, parts)
+    assert sum(shares) == total
+    assert len(shares) == parts
+    assert max(shares) - min(shares) <= 1
+
+
+# -- fragments ---------------------------------------------------------------
+def test_fragment_pages_and_matching():
+    frag = Fragment(relation_name="A", pe_id=0, num_tuples=1000, blocking_factor=20)
+    assert frag.pages == 50
+    assert frag.matching_tuples(0.01) == 10
+    assert frag.matching_pages(0.01) == 1
+    assert frag.matching_pages(0.0) == 0
+
+
+def test_fragment_selectivity_validation():
+    frag = Fragment(relation_name="A", pe_id=0, num_tuples=1000, blocking_factor=20)
+    with pytest.raises(ValueError):
+        frag.matching_tuples(1.5)
+
+
+# -- declustering -------------------------------------------------------------
+def test_decluster_uniform_distribution():
+    config = RelationConfig(name="A", num_tuples=250_000, declustering_fraction=0.2)
+    relation = decluster(config, pe_ids=list(range(8)), disks_per_pe=10)
+    assert len(relation.fragments) == 8
+    assert relation.total_fragment_tuples() == 250_000
+    sizes = [frag.num_tuples for frag in relation.fragments.values()]
+    assert max(sizes) - min(sizes) <= 1
+    assert all(len(frag.disk_ids) == 10 for frag in relation.fragments.values())
+
+
+def test_decluster_requires_nodes():
+    config = RelationConfig(name="A", num_tuples=100)
+    with pytest.raises(ValueError):
+        decluster(config, pe_ids=[])
+
+
+def test_relation_rejects_duplicate_fragment():
+    config = RelationConfig(name="A", num_tuples=100)
+    relation = decluster(config, pe_ids=[0, 1])
+    with pytest.raises(ValueError):
+        relation.add_fragment(
+            Fragment(relation_name="A", pe_id=0, num_tuples=10, blocking_factor=20)
+        )
+
+
+def test_relation_rejects_foreign_fragment():
+    config = RelationConfig(name="A", num_tuples=100)
+    relation = decluster(config, pe_ids=[0])
+    with pytest.raises(ValueError):
+        relation.add_fragment(
+            Fragment(relation_name="B", pe_id=5, num_tuples=10, blocking_factor=20)
+        )
+
+
+def test_relation_matching_pages_paper_values():
+    """The inner relation at 1 % selectivity occupies 125 pages (paper §3.1)."""
+    config = RelationConfig(name="A", num_tuples=250_000, blocking_factor=20)
+    relation = decluster(config, pe_ids=list(range(4)))
+    assert relation.matching_tuples(0.01) == 2_500
+    assert relation.matching_pages(0.01) == 125
+    assert relation.matching_pages(0.001) == 13
+    assert relation.matching_pages(0.05) == 625
+
+
+# -- B+-tree index -------------------------------------------------------------
+def test_btree_height_grows_with_entries():
+    small = BTreeIndex(relation_name="A", num_entries=100)
+    large = BTreeIndex(relation_name="A", num_entries=1_000_000)
+    assert small.height <= large.height
+    assert small.height >= 1
+
+
+def test_btree_height_known_values():
+    index = BTreeIndex(relation_name="A", num_entries=200, entries_per_page=200)
+    assert index.height == 1
+    index = BTreeIndex(relation_name="A", num_entries=40_000, entries_per_page=200)
+    assert index.height == 2
+    index = BTreeIndex(relation_name="A", num_entries=250_000, entries_per_page=200)
+    assert index.height == 3
+
+
+def test_btree_range_scan_pages():
+    index = BTreeIndex(relation_name="A", clustered=True, num_entries=250_000)
+    assert index.index_pages_for_range(0.0) == index.height
+    assert index.index_pages_for_range(0.01) >= index.height
+    with pytest.raises(ValueError):
+        index.index_pages_for_range(2.0)
+
+
+def test_btree_unclustered_data_accesses():
+    clustered = BTreeIndex(relation_name="A", clustered=True, num_entries=10_000)
+    unclustered = BTreeIndex(relation_name="A", clustered=False, num_entries=10_000)
+    assert clustered.data_page_accesses_for_tuples(100, data_pages=50) == 50
+    assert unclustered.data_page_accesses_for_tuples(100, data_pages=50) == 100
+    assert clustered.data_page_accesses_for_tuples(0, data_pages=50) == 0
+
+
+# -- catalog -------------------------------------------------------------------
+def test_catalog_from_config_contains_a_and_b():
+    config = SystemConfig(num_pe=40)
+    catalog = Catalog.from_config(config)
+    assert "A" in catalog
+    assert "B" in catalog
+    assert set(catalog.nodes_of("A")) == set(config.a_node_ids)
+    assert set(catalog.nodes_of("B")) == set(config.b_node_ids)
+    # Disjoint allocation (paper §5.1).
+    assert set(catalog.nodes_of("A")).isdisjoint(catalog.nodes_of("B"))
+
+
+def test_catalog_with_oltp_adds_account_relation():
+    config = SystemConfig(num_pe=40, oltp=OltpConfig(placement="B"))
+    catalog = Catalog.from_config(config)
+    assert "ACCT" in catalog
+    assert set(catalog.nodes_of("ACCT")) == set(config.b_node_ids)
+
+
+def test_catalog_unknown_relation_message():
+    catalog = Catalog.from_config(SystemConfig(num_pe=10))
+    with pytest.raises(KeyError, match="unknown relation"):
+        catalog.relation("Z")
+
+
+def test_catalog_fragments_on_node():
+    config = SystemConfig(num_pe=10)
+    catalog = Catalog.from_config(config)
+    a_node = config.a_node_ids[0]
+    fragments = catalog.fragments_on(a_node)
+    assert any(frag.relation_name == "A" for frag in fragments)
+    assert not any(frag.relation_name == "B" for frag in fragments)
+
+
+def test_catalog_add_duplicate_rejected():
+    config = SystemConfig(num_pe=10)
+    catalog = Catalog.from_config(config)
+    with pytest.raises(ValueError):
+        catalog.add(catalog.relation("A"))
+
+
+@given(st.integers(min_value=10, max_value=80))
+def test_catalog_total_tuples_preserved(num_pe):
+    config = SystemConfig(num_pe=num_pe)
+    catalog = Catalog.from_config(config)
+    assert catalog.relation("A").total_fragment_tuples() == 250_000
+    assert catalog.relation("B").total_fragment_tuples() == 1_000_000

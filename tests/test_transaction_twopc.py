@@ -1,0 +1,185 @@
+"""Tests for the transaction manager (MPL control) and two-phase commit."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine import CommitStatistics, ProcessingElement, TransactionManager, run_commit
+from repro.hardware import Network
+from repro.sim import Environment
+from repro.workload import JoinQuery, OltpTransaction
+
+
+# -- transaction manager -----------------------------------------------------------
+def test_mpl_limits_concurrency():
+    env = Environment()
+    manager = TransactionManager(env, pe_id=0, multiprogramming_level=2)
+    starts = []
+
+    def txn(name, duration):
+        transaction = OltpTransaction()
+        slot = yield from manager.admit(transaction)
+        starts.append((name, env.now))
+        yield env.timeout(duration)
+        manager.finish(transaction, slot)
+
+    for index in range(4):
+        env.process(txn(f"t{index}", 10))
+    env.run()
+    start_times = [t for _, t in starts]
+    assert start_times == [0, 0, 10, 10]
+    assert manager.admitted == 4
+    assert manager.completed == 4
+    assert manager.active_count == 0
+
+
+def test_input_queue_length_visible_while_saturated():
+    env = Environment()
+    manager = TransactionManager(env, pe_id=0, multiprogramming_level=1)
+
+    def txn(duration):
+        transaction = OltpTransaction()
+        slot = yield from manager.admit(transaction)
+        yield env.timeout(duration)
+        manager.finish(transaction, slot)
+
+    for _ in range(3):
+        env.process(txn(5))
+    env.run(until=2)
+    assert manager.active_count == 1
+    assert manager.input_queue_length == 2
+    env.run()
+    assert manager.average_input_queue() > 0
+
+
+def test_invalid_mpl_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        TransactionManager(env, pe_id=0, multiprogramming_level=0)
+
+
+def test_is_active_tracks_registration():
+    env = Environment()
+    manager = TransactionManager(env, pe_id=0, multiprogramming_level=4)
+    txn = JoinQuery()
+    events = []
+
+    def proc():
+        slot = yield from manager.admit(txn)
+        events.append(manager.is_active(txn.txn_id))
+        manager.finish(txn, slot)
+        events.append(manager.is_active(txn.txn_id))
+
+    env.process(proc())
+    env.run()
+    assert events == [True, False]
+
+
+# -- two-phase commit ----------------------------------------------------------------
+def build_pes(count, num_pe=4):
+    env = Environment()
+    config = SystemConfig(num_pe=num_pe)
+    pes = [ProcessingElement(env, pe_id=index, config=config) for index in range(count)]
+    network = Network(env, config.network, config.costs)
+    return env, config, pes, network
+
+
+def test_read_only_commit_uses_single_round():
+    env, config, pes, network = build_pes(3)
+    stats = CommitStatistics()
+    finished = []
+
+    def proc():
+        yield from run_commit(
+            pes[0], pes[1:], network, config.costs, read_only=True, statistics=stats
+        )
+        finished.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert stats.one_phase_commits == 1
+    assert stats.two_phase_commits == 0
+    assert stats.messages == 4  # 2 participants x 2 messages
+    assert finished[0] > 0
+    # No log writes for read-only commits.
+    assert all(pe.disks.pages_written == 0 for pe in pes)
+
+
+def test_update_commit_writes_logs_and_uses_two_phases():
+    env, config, pes, network = build_pes(3)
+    stats = CommitStatistics()
+
+    def proc():
+        yield from run_commit(
+            pes[0], pes[1:], network, config.costs, read_only=False, statistics=stats
+        )
+
+    env.process(proc())
+    env.run()
+    assert stats.two_phase_commits == 1
+    assert stats.messages == 8
+    # Each participant forces a prepare record; the coordinator forces commit.
+    assert pes[1].disks.pages_written == 1
+    assert pes[2].disks.pages_written == 1
+    assert pes[0].disks.pages_written == 1
+
+
+def test_update_commit_takes_longer_than_read_only():
+    env1, config1, pes1, network1 = build_pes(3)
+    env2, config2, pes2, network2 = build_pes(3)
+    times = {}
+
+    def run(env, pes, network, config, read_only, key):
+        def proc():
+            yield from run_commit(pes[0], pes[1:], network, config.costs, read_only=read_only)
+            times[key] = env.now
+
+        env.process(proc())
+        env.run()
+
+    run(env1, pes1, network1, config1, True, "ro")
+    run(env2, pes2, network2, config2, False, "rw")
+    assert times["rw"] > times["ro"]
+
+
+def test_local_readonly_commit_is_free_of_messages():
+    env, config, pes, network = build_pes(1)
+    stats = CommitStatistics()
+
+    def proc():
+        yield from run_commit(pes[0], [pes[0]], network, config.costs, read_only=True, statistics=stats)
+
+    env.process(proc())
+    env.run()
+    assert network.messages_sent == 0
+    assert stats.messages == 0
+
+
+def test_local_update_commit_forces_log():
+    env, config, pes, network = build_pes(1)
+
+    def proc():
+        yield from run_commit(pes[0], [], network, config.costs, read_only=False)
+
+    env.process(proc())
+    env.run()
+    assert pes[0].disks.pages_written == 1
+
+
+# -- processing element composition -----------------------------------------------------
+def test_processing_element_reports_utilizations():
+    env = Environment()
+    config = SystemConfig(num_pe=4)
+    pe = ProcessingElement(env, pe_id=1, config=config)
+
+    def work():
+        yield from pe.cpu.consume(100_000)
+        yield from pe.disks.read_sequential(8)
+
+    env.process(work())
+    env.run(until=0.1)
+    pe.close_report_window()
+    assert 0.0 < pe.recent_cpu_utilization <= 1.0
+    assert 0.0 < pe.recent_disk_utilization <= 1.0
+    assert pe.free_memory_pages == config.buffer.buffer_pages
+    assert pe.memory_utilization == 0.0
+    assert "PE 1" in pe.describe()

@@ -1,8 +1,11 @@
 """Shared helpers for the benchmark harness.
 
-Each benchmark module regenerates one table/figure of the paper.  The
-simulated workload sizes are kept modest so the whole suite completes in
-minutes; set ``REPRO_BENCH_JOINS`` (measured join completions per point) and
+Each benchmark module regenerates one table/figure of the paper through the
+declarative scenario engine (:mod:`repro.runner`): the figure's points fan
+out over ``REPRO_BENCH_WORKERS`` worker processes (default: one per CPU
+core), so the suite scales with the machine.  The simulated workload sizes
+are kept modest so the whole suite completes in minutes; set
+``REPRO_BENCH_JOINS`` (measured join completions per point) and
 ``REPRO_BENCH_TIME_LIMIT`` (simulated-seconds cap per point) to increase
 fidelity.  The reproduced tables are printed and written to
 ``benchmarks/results/``.
@@ -14,6 +17,8 @@ import os
 import pathlib
 
 import pytest
+
+from repro.experiments.base import default_measured_joins, default_time_limit
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -29,17 +34,29 @@ def write_report(name: str, text: str) -> None:
 
 def bench_joins(default: int) -> int:
     """Measured joins per point for benchmarks (env-overridable)."""
-    try:
-        return max(5, int(os.environ.get("REPRO_BENCH_JOINS", default)))
-    except ValueError:
-        return default
+    return default_measured_joins(default)
 
 
 def bench_time_limit(default: float) -> float:
+    return default_time_limit(default)
+
+
+def bench_workers(default: int | None = None) -> int:
+    """Worker processes per figure run (``REPRO_BENCH_WORKERS``-overridable).
+
+    Defaults to one worker per CPU core so the independent points of a sweep
+    run concurrently; benchmarks stay deterministic because every point is
+    fully described by its spec (results are bit-identical at any worker
+    count).
+    """
+    fallback = default if default is not None else (os.cpu_count() or 1)
     try:
-        return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", default))
+        value = int(os.environ.get("REPRO_BENCH_WORKERS", fallback))
     except ValueError:
-        return default
+        value = fallback
+    if value == 0:  # same contract as --workers 0 / ParallelRunner(workers=0)
+        value = os.cpu_count() or 1
+    return max(1, value)
 
 
 @pytest.fixture

@@ -1,6 +1,6 @@
 """Benchmark: Fig. 6 — dynamic degree of join parallelism (homogeneous load)."""
 
-from conftest import bench_joins, bench_time_limit, write_report
+from conftest import bench_joins, bench_time_limit, bench_workers, write_report
 
 from repro.experiments import figure6
 
@@ -12,6 +12,7 @@ def _run():
         system_sizes=SIZES,
         measured_joins=bench_joins(30),
         max_simulated_time=bench_time_limit(60.0),
+        workers=bench_workers(),
     )
 
 

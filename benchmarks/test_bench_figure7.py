@@ -1,6 +1,6 @@
 """Benchmark: Fig. 7 — memory/disk-bound environment."""
 
-from conftest import bench_joins, bench_time_limit, write_report
+from conftest import bench_joins, bench_time_limit, bench_workers, write_report
 
 from repro.experiments import figure7
 from repro.experiments.figure7 import degree_table
@@ -14,6 +14,7 @@ def _run():
         arrival_rates=(0.05, 0.025),
         measured_joins=bench_joins(25),
         max_simulated_time=bench_time_limit(90.0),
+        workers=bench_workers(),
     )
 
 

@@ -1,6 +1,6 @@
 """Benchmark: Fig. 8 — influence of join complexity (selectivity sweep)."""
 
-from conftest import bench_joins, bench_time_limit, write_report
+from conftest import bench_joins, bench_time_limit, bench_workers, write_report
 
 from repro.experiments import figure8
 from repro.experiments.figure8 import improvement_table
@@ -13,6 +13,7 @@ def _run():
         selectivities=SELECTIVITIES,
         measured_joins=bench_joins(25),
         max_simulated_time=bench_time_limit(90.0),
+        workers=bench_workers(),
     )
 
 

@@ -1,6 +1,6 @@
 """Benchmark: Fig. 9a/9b — static vs. dynamic load balancing, mixed workloads."""
 
-from conftest import bench_joins, bench_time_limit, write_report
+from conftest import bench_joins, bench_time_limit, bench_workers, write_report
 
 from repro.experiments import figure9
 
@@ -15,6 +15,7 @@ def _run(placement):
         strategies=STRATEGIES,
         measured_joins=bench_joins(20),
         max_simulated_time=bench_time_limit(40.0),
+        workers=bench_workers(),
     )
 
 

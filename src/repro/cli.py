@@ -5,7 +5,13 @@ Examples::
     repro-lb list-strategies
     repro-lb parameters
     repro-lb simulate --pe 40 --strategy OPT-IO-CPU --joins 50
-    repro-lb experiment figure6 --joins 30 --sizes 20 40 80
+    repro-lb experiment figure6 --joins 30 --sizes 20 40 80 --workers 4
+    repro-lb sweep --strategies MIN-IO OPT-IO-CPU --sizes 20 40 --rates 0.2 0.3
+
+Experiments and sweeps run through the declarative scenario engine
+(:mod:`repro.runner`): points fan out over ``--workers`` processes and
+completed points are cached on disk (``--no-cache`` disables the cache,
+``REPRO_CACHE_DIR`` relocates it).
 """
 
 from __future__ import annotations
@@ -15,13 +21,45 @@ import sys
 from typing import Optional, Sequence
 
 from repro.config.parameters import OltpConfig, SystemConfig
-from repro.experiments import EXPERIMENTS, render_parameter_table
-from repro.experiments.figure7 import degree_table
-from repro.experiments.figure8 import improvement_table
+from repro.experiments import render_parameter_table
+from repro.runner import (
+    ParallelRunner,
+    ResultCache,
+    ScenarioSpec,
+    Sweep,
+    available_scenarios,
+    build_scenario,
+)
 from repro.scheduling.strategy import strategy_names
 from repro.simulation.driver import SimulationDriver
 
 __all__ = ["main", "build_parser"]
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 1, or 0 for one per CPU core")
+    return value
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes for independent points (0 = one per CPU core)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate; do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-lb)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,11 +88,40 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--time-limit", type=float, default=120.0, help="simulated seconds cap")
 
     experiment = sub.add_parser("experiment", help="reproduce one of the paper's figures")
-    experiment.add_argument("figure", choices=sorted(EXPERIMENTS), help="figure to reproduce")
+    experiment.add_argument("figure", choices=available_scenarios(),
+                            help="registered scenario to reproduce")
     experiment.add_argument("--joins", type=int, default=None, help="measured joins per point")
     experiment.add_argument("--sizes", type=int, nargs="*", default=None, help="system sizes")
     experiment.add_argument("--time-limit", type=float, default=None, help="simulated seconds cap")
+    _add_runner_arguments(experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an ad-hoc scenario straight from CLI axes (no figure module needed)",
+    )
+    sweep.add_argument("--strategies", nargs="+", default=["OPT-IO-CPU"],
+                       help="load balancing strategies to compare")
+    sweep.add_argument("--sizes", type=int, nargs="+", default=[40], help="system sizes (#PE)")
+    sweep.add_argument("--rates", type=float, nargs="*", default=None,
+                       help="join arrival rates per PE (QPS)")
+    sweep.add_argument("--selectivities", type=float, nargs="*", default=None,
+                       help="scan selectivities (fractions, e.g. 0.01)")
+    sweep.add_argument("--scenario", choices=["homogeneous", "memory-bound", "mixed"],
+                       default="homogeneous", help="base scenario configuration")
+    sweep.add_argument("--oltp", choices=["A", "B"], default=None,
+                       help="OLTP placement (implies --scenario mixed)")
+    sweep.add_argument("--joins", type=int, default=None, help="measured joins per point")
+    sweep.add_argument("--time-limit", type=float, default=None, help="simulated seconds cap")
+    sweep.add_argument("--set", dest="overrides", action="append", default=[],
+                       metavar="PATH=VALUE",
+                       help="dotted config override, e.g. --set buffer.buffer_pages=25")
+    _add_runner_arguments(sweep)
     return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ParallelRunner(workers=args.workers, cache=cache)
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -79,9 +146,26 @@ def _run_simulate(args: argparse.Namespace) -> int:
         )
     print(config.describe())
     print(result.row())
-    for key, value in result.to_dict().items():
+    for key, value in result.report_dict().items():
         print(f"  {key}: {value}")
     return 0
+
+
+def _print_spec_result(spec: ScenarioSpec, runner: ParallelRunner) -> None:
+    if not spec.sweeps and spec.static_table is not None:
+        print(spec.static_table())
+        return
+    experiment = runner.run(spec)
+    print(experiment.table())
+    for extra in spec.extra_tables:
+        print()
+        print(extra(experiment))
+    if runner.cache is not None:
+        print(
+            f"[cache] {runner.cache.hits} hit(s), {runner.cache.misses} miss(es) "
+            f"in {runner.cache.root}",
+            file=sys.stderr,
+        )
 
 
 def _run_experiment(args: argparse.Namespace) -> int:
@@ -92,6 +176,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["queries_per_point"] = max(1, args.joins // 10)
         if args.sizes:
             kwargs["degrees"] = args.sizes
+    elif args.figure == "parameters":
+        pass  # static table, no axes
     else:
         if args.joins is not None:
             kwargs["measured_joins"] = args.joins
@@ -102,14 +188,88 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 print("note: --sizes is ignored for figure8 (fixed 60 PE)", file=sys.stderr)
             else:
                 kwargs["system_sizes"] = args.sizes
-    experiment = EXPERIMENTS[args.figure](**kwargs)
-    print(experiment.table())
-    if args.figure == "figure7":
-        print()
-        print(degree_table(experiment))
-    if args.figure == "figure8":
-        print()
-        print(improvement_table(experiment))
+    spec = build_scenario(args.figure, **kwargs)
+    _print_spec_result(spec, _make_runner(args))
+    return 0
+
+
+def _parse_override(text: str) -> tuple:
+    path, sep, raw = text.partition("=")
+    if not sep or not path:
+        raise SystemExit(f"invalid --set override {text!r} (expected PATH=VALUE)")
+    for convert in (int, float):
+        try:
+            return (path, convert(raw))
+        except ValueError:
+            continue
+    return (path, raw)
+
+
+def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
+    scenario = "mixed" if args.oltp else args.scenario
+    rates = tuple(args.rates) if args.rates else (None,)
+    selectivities = tuple(args.selectivities) if args.selectivities else (None,)
+    sizes = tuple(args.sizes)
+
+    # Label series by every non-size axis that actually varies.
+    series = "{strategy}"
+    if len(selectivities) > 1:
+        series += " sel={selectivity:g}"
+    if len(rates) > 1:
+        series += " @{rate:g} QPS/PE"
+    x_axis = "num_pe"
+    if len(sizes) == 1 and len(selectivities) > 1:
+        x_axis, series = "selectivity_pct", series.replace(" sel={selectivity:g}", "")
+    elif len(sizes) == 1 and len(rates) > 1:
+        x_axis, series = "rate", series.replace(" @{rate:g} QPS/PE", "")
+
+    sweep = Sweep(
+        kind="multi",
+        scenario=scenario,
+        strategies=tuple(args.strategies),
+        system_sizes=sizes,
+        rates=rates,
+        selectivities=selectivities,
+        oltp_placements=(args.oltp,) if args.oltp else (None,),
+        x_axis=x_axis,
+        series=series,
+        config_overrides=tuple(_parse_override(text) for text in args.overrides),
+    )
+    axes = [f"strategies={list(args.strategies)}", f"sizes={list(sizes)}"]
+    if args.rates:
+        axes.append(f"rates={list(rates)}")
+    if args.selectivities:
+        axes.append(f"selectivities={list(selectivities)}")
+    if args.oltp:
+        axes.append(f"oltp={args.oltp}")
+    return ScenarioSpec(
+        name="sweep",
+        title=f"Ad-hoc sweep [{scenario}]: " + ", ".join(axes),
+        x_label={"num_pe": "# PE", "selectivity_pct": "selectivity %", "rate": "QPS/PE"}[x_axis],
+        sweeps=(sweep,),
+        measured_joins=args.joins,
+        max_simulated_time=args.time_limit,
+    )
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    known = set(strategy_names())
+    unknown = [name for name in args.strategies if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown strategy {', '.join(map(repr, unknown))}; "
+            f"see `repro-lb list-strategies`"
+        )
+    spec = _build_adhoc_spec(args)
+    # Validate dotted overrides eagerly (a worker process would otherwise
+    # surface the failure as an opaque pool traceback mid-run).
+    from repro.runner.runner import apply_config_overrides
+
+    try:
+        apply_config_overrides(SystemConfig(), spec.sweeps[0].config_overrides)
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid --set override: {exc}") from None
+    _print_spec_result(spec, _make_runner(args))
     return 0
 
 
@@ -127,6 +287,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_simulate(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,6 +1,13 @@
-"""Reproduction of the paper's evaluation section, one module per figure."""
+"""Reproduction of the paper's evaluation section, one module per figure.
 
-from repro.experiments import figure1, figure5, figure6, figure7, figure8, figure9
+Each figure module declares its sweep as a :class:`repro.runner.ScenarioSpec`
+(registered by name in :mod:`repro.runner.registry`) and keeps a thin
+``run(...)`` wrapper that executes the spec through
+:class:`repro.runner.ParallelRunner`.  Importing this package populates the
+scenario registry.
+"""
+
+from repro.experiments import figure1, figure5, figure6, figure7, figure8, figure9, table_parameters
 from repro.experiments.base import (
     PAPER_SYSTEM_SIZES,
     ExperimentPoint,
@@ -39,13 +46,23 @@ __all__ = [
     "render_parameter_table",
 ]
 
-#: Mapping used by the CLI: figure name -> callable returning ExperimentResult.
+def _registry_run(name):
+    """Back-compat run callable executing a registered scenario spec."""
+
+    def _run(workers=1, cache=None, **kwargs):
+        from repro.runner import ParallelRunner, build_scenario
+
+        return ParallelRunner(workers=workers, cache=cache).run(build_scenario(name, **kwargs))
+
+    _run.__name__ = f"run_{name}"
+    return _run
+
+
+#: Back-compat mapping derived from the scenario registry: figure name ->
+#: callable returning an ExperimentResult ("parameters" is a static table,
+#: not a simulated figure, hence excluded).
+from repro.runner import available_scenarios as _available_scenarios
+
 EXPERIMENTS = {
-    "figure1": figure1.run,
-    "figure5": figure5.run,
-    "figure6": figure6.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "figure9a": lambda **kwargs: figure9.run(oltp_placement="A", **kwargs),
-    "figure9b": lambda **kwargs: figure9.run(oltp_placement="B", **kwargs),
+    name: _registry_run(name) for name in _available_scenarios() if name != "parameters"
 }

@@ -38,19 +38,32 @@ PAPER_SYSTEM_SIZES = (10, 20, 40, 60, 80)
 
 
 def default_measured_joins(fallback: int = 40) -> int:
-    """Number of measured join completions per point (env-overridable)."""
+    """Number of measured join completions per point (env-overridable).
+
+    Unreadable ``REPRO_BENCH_JOINS`` values fall back to ``fallback``; the
+    result is always clamped to at least 5 so a negative or tiny value (from
+    either source) cannot produce a meaningless measurement phase.
+    """
     try:
-        return max(5, int(os.environ.get("REPRO_BENCH_JOINS", fallback)))
+        value = int(os.environ.get("REPRO_BENCH_JOINS", fallback))
     except ValueError:
-        return fallback
+        value = fallback
+    return max(5, value)
 
 
 def default_time_limit(fallback: float = 120.0) -> float:
-    """Simulated-time cap per point in seconds (env-overridable)."""
+    """Simulated-time cap per point in seconds (env-overridable).
+
+    Unreadable or non-positive ``REPRO_BENCH_TIME_LIMIT`` values fall back
+    to ``fallback`` (itself guarded against non-positive values).
+    """
     try:
-        return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", fallback))
+        value = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", fallback))
     except ValueError:
-        return fallback
+        value = float(fallback)
+    if value <= 0:
+        value = float(fallback)
+    return value if value > 0 else 120.0
 
 
 @dataclass
@@ -113,7 +126,7 @@ class ExperimentResult:
         rows = []
         for point in self.points:
             row: Dict[str, object] = {"figure": self.figure, "series": point.series, "x": point.x}
-            row.update(point.result.to_dict())
+            row.update(point.result.report_dict())
             rows.append(row)
         return rows
 

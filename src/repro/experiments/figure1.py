@@ -10,20 +10,50 @@ single-user executions with a fixed degree of parallelism.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.base import ExperimentPoint, ExperimentResult
-from repro.scheduling.cost_model import CostModel
-from repro.scheduling.degree import FixedDegree
-from repro.scheduling.placement import RandomPlacement
-from repro.scheduling.strategy import IsolatedStrategy
-from repro.simulation.driver import SimulationDriver
-from repro.workload.query import JoinQuery
-from repro.experiments.scenarios import homogeneous_config
+from repro.experiments.base import ExperimentResult
+from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
 
-__all__ = ["run", "DEGREES"]
+__all__ = ["run", "build_spec", "DEGREES"]
 
 DEGREES = (1, 2, 4, 8, 16, 24, 30, 40, 60, 80)
+
+
+def build_spec(
+    num_pe: int = 80,
+    scan_selectivity: float = 0.01,
+    degrees: Sequence[int] = DEGREES,
+    simulate: bool = True,
+    queries_per_point: int = 2,
+) -> ScenarioSpec:
+    """Declare Fig. 1a as a scenario spec (analytic curve plus simulation)."""
+    common = dict(
+        scenario="homogeneous",
+        system_sizes=(num_pe,),
+        selectivities=(scan_selectivity,),
+        degrees=tuple(degrees),
+        x_axis="degree",
+    )
+    sweeps = [Sweep(kind="analytic", series="analytic model", **common)]
+    if simulate:
+        sweeps.append(
+            Sweep(
+                kind="fixed-degree",
+                series="simulation",
+                num_queries=queries_per_point,
+                **common,
+            )
+        )
+    return ScenarioSpec(
+        name="figure1",
+        title="Fig. 1a: single-user response time vs. degree of join parallelism",
+        x_label="join procs",
+        sweeps=tuple(sweeps),
+    )
+
+
+register_scenario("figure1", build_spec)
 
 
 def run(
@@ -32,57 +62,15 @@ def run(
     degrees: Sequence[int] = DEGREES,
     simulate: bool = True,
     queries_per_point: int = 2,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
     """Reproduce the single-user response-time curve of Fig. 1a."""
-    config = homogeneous_config(num_pe, scan_selectivity=scan_selectivity)
-    cost_model = CostModel(config)
-    query = JoinQuery(scan_selectivity=scan_selectivity)
-    experiment = ExperimentResult(
-        figure="figure1",
-        title="Fig. 1a: single-user response time vs. degree of join parallelism",
-        x_label="join procs",
+    spec = build_spec(
+        num_pe=num_pe,
+        scan_selectivity=scan_selectivity,
+        degrees=degrees,
+        simulate=simulate,
+        queries_per_point=queries_per_point,
     )
-
-    for degree in degrees:
-        if degree > num_pe:
-            continue
-        estimate = cost_model.estimate_response_time(query, degree)
-        analytic = ExperimentPoint(
-            figure="figure1",
-            series="analytic model",
-            x=degree,
-            result=_pseudo_result(config, degree, estimate),
-        )
-        experiment.add(analytic)
-        if simulate:
-            strategy = IsolatedStrategy(
-                FixedDegree(degree, name=f"fixed({degree})"), RandomPlacement(seed=config.seed)
-            )
-            driver = SimulationDriver(config, strategy=strategy)
-            result = driver.run_single_user(num_queries=queries_per_point)
-            experiment.add(
-                ExperimentPoint(figure="figure1", series="simulation", x=degree, result=result)
-            )
-    return experiment
-
-
-def _pseudo_result(config, degree, estimate_seconds):
-    """Wrap an analytic estimate in a SimulationResult-shaped record."""
-    from repro.simulation.results import SimulationResult
-
-    return SimulationResult(
-        strategy=f"analytic p={degree}",
-        num_pe=config.num_pe,
-        mode="analytic",
-        simulated_seconds=0.0,
-        joins_completed=0,
-        join_response_time=estimate_seconds,
-        join_response_time_p95=estimate_seconds,
-        join_response_time_ci=0.0,
-        average_degree=float(degree),
-        average_overflow_pages=0.0,
-        average_memory_wait=0.0,
-        cpu_utilization=0.0,
-        disk_utilization=0.0,
-        memory_utilization=0.0,
-    )
+    return ParallelRunner(workers=workers, cache=cache).run(spec)

@@ -11,16 +11,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import (
-    PAPER_SYSTEM_SIZES,
-    ExperimentPoint,
-    ExperimentResult,
-    run_point,
-    run_single_user_point,
-)
-from repro.experiments.scenarios import homogeneous_config
+from repro.experiments.base import PAPER_SYSTEM_SIZES, ExperimentResult
+from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
 
-__all__ = ["run", "STRATEGIES"]
+__all__ = ["run", "build_spec", "STRATEGIES"]
 
 STRATEGIES = (
     "psu_noIO+RANDOM",
@@ -32,36 +26,61 @@ STRATEGIES = (
 )
 
 
+def build_spec(
+    system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
+    strategies: Sequence[str] = STRATEGIES,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    include_single_user: bool = True,
+) -> ScenarioSpec:
+    """Declare Fig. 5 as a scenario spec."""
+    sweeps = [
+        Sweep(
+            kind="multi",
+            scenario="homogeneous",
+            strategies=tuple(strategies),
+            system_sizes=tuple(system_sizes),
+        )
+    ]
+    if include_single_user:
+        sweeps.append(
+            Sweep(
+                kind="single",
+                scenario="homogeneous",
+                strategies=("psu_opt+RANDOM",),
+                system_sizes=tuple(system_sizes),
+                series="single-user (psu_opt)",
+                num_queries=5,
+            )
+        )
+    return ScenarioSpec(
+        name="figure5",
+        title="Fig. 5: static degree of parallelism (multi-user join 0.25 QPS/PE, 1% selectivity)",
+        x_label="# PE",
+        sweeps=tuple(sweeps),
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+    )
+
+
+register_scenario("figure5", build_spec)
+
+
 def run(
     system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
     strategies: Sequence[str] = STRATEGIES,
     measured_joins: Optional[int] = None,
     max_simulated_time: Optional[float] = None,
     include_single_user: bool = True,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 5 (response times in ms per strategy and system size)."""
-    experiment = ExperimentResult(
-        figure="figure5",
-        title="Fig. 5: static degree of parallelism (multi-user join 0.25 QPS/PE, 1% selectivity)",
-        x_label="# PE",
+    spec = build_spec(
+        system_sizes=system_sizes,
+        strategies=strategies,
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+        include_single_user=include_single_user,
     )
-    for num_pe in system_sizes:
-        config = homogeneous_config(num_pe)
-        for strategy in strategies:
-            result = run_point(
-                config,
-                strategy,
-                measured_joins=measured_joins,
-                max_simulated_time=max_simulated_time,
-            )
-            experiment.add(
-                ExperimentPoint(figure="figure5", series=strategy, x=num_pe, result=result)
-            )
-        if include_single_user:
-            baseline = run_single_user_point(config, strategy="psu_opt+RANDOM")
-            experiment.add(
-                ExperimentPoint(
-                    figure="figure5", series="single-user (psu_opt)", x=num_pe, result=baseline
-                )
-            )
-    return experiment
+    return ParallelRunner(workers=workers, cache=cache).run(spec)

@@ -14,19 +14,62 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import (
-    ExperimentPoint,
-    ExperimentResult,
-    run_point,
-    run_single_user_point,
-)
-from repro.experiments.scenarios import memory_bound_config
+from repro.experiments.base import ExperimentResult
+from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
 
-__all__ = ["run", "STRATEGIES", "SYSTEM_SIZES", "ARRIVAL_RATES"]
+__all__ = ["run", "build_spec", "degree_table", "STRATEGIES", "SYSTEM_SIZES", "ARRIVAL_RATES"]
 
 STRATEGIES = ("pmu_cpu+LUM", "MIN-IO-SUOPT")
 SYSTEM_SIZES = (20, 30, 40, 60, 80)
 ARRIVAL_RATES = (0.05, 0.025)
+
+
+def degree_table(experiment: ExperimentResult) -> str:
+    """The average chosen degree of join parallelism (Fig. 7 annotations)."""
+    return experiment.table(metric=lambda point: point.result.average_degree, unit="join processors")
+
+
+def build_spec(
+    system_sizes: Sequence[int] = SYSTEM_SIZES,
+    arrival_rates: Sequence[float] = ARRIVAL_RATES,
+    strategies: Sequence[str] = STRATEGIES,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    include_single_user: bool = True,
+) -> ScenarioSpec:
+    """Declare Fig. 7 as a scenario spec."""
+    sweeps = [
+        Sweep(
+            kind="multi",
+            scenario="memory-bound",
+            strategies=tuple(strategies),
+            system_sizes=tuple(system_sizes),
+            rates=tuple(arrival_rates),
+            series="{strategy} @{rate:g} QPS/PE",
+        )
+    ]
+    if include_single_user:
+        sweeps.append(
+            Sweep(
+                kind="single",
+                scenario="memory-bound",
+                strategies=tuple(strategies),
+                system_sizes=tuple(system_sizes),
+                series="{strategy} single-user",
+            )
+        )
+    return ScenarioSpec(
+        name="figure7",
+        title="Fig. 7: memory-bound environment (buffer/10, 1 temp disk per PE)",
+        x_label="# PE",
+        sweeps=tuple(sweeps),
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+        extra_tables=(degree_table,),
+    )
+
+
+register_scenario("figure7", build_spec)
 
 
 def run(
@@ -36,46 +79,16 @@ def run(
     measured_joins: Optional[int] = None,
     max_simulated_time: Optional[float] = None,
     include_single_user: bool = True,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 7 (memory-bound environment, 1 % selectivity)."""
-    experiment = ExperimentResult(
-        figure="figure7",
-        title="Fig. 7: memory-bound environment (buffer/10, 1 temp disk per PE)",
-        x_label="# PE",
+    spec = build_spec(
+        system_sizes=system_sizes,
+        arrival_rates=arrival_rates,
+        strategies=strategies,
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+        include_single_user=include_single_user,
     )
-    for num_pe in system_sizes:
-        for rate in arrival_rates:
-            config = memory_bound_config(num_pe, arrival_rate_per_pe=rate)
-            for strategy in strategies:
-                result = run_point(
-                    config,
-                    strategy,
-                    measured_joins=measured_joins,
-                    max_simulated_time=max_simulated_time,
-                )
-                experiment.add(
-                    ExperimentPoint(
-                        figure="figure7",
-                        series=f"{strategy} @{rate:g} QPS/PE",
-                        x=num_pe,
-                        result=result,
-                    )
-                )
-        if include_single_user:
-            config = memory_bound_config(num_pe)
-            for strategy in strategies:
-                baseline = run_single_user_point(config, strategy=strategy)
-                experiment.add(
-                    ExperimentPoint(
-                        figure="figure7",
-                        series=f"{strategy} single-user",
-                        x=num_pe,
-                        result=baseline,
-                    )
-                )
-    return experiment
-
-
-def degree_table(experiment: ExperimentResult) -> str:
-    """The average chosen degree of join parallelism (Fig. 7 annotations)."""
-    return experiment.table(metric=lambda point: point.result.average_degree, unit="join processors")
+    return ParallelRunner(workers=workers, cache=cache).run(spec)

@@ -9,12 +9,12 @@ psu-opt + RANDOM.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.base import ExperimentPoint, ExperimentResult, run_point
-from repro.experiments.scenarios import JOIN_COMPLEXITY_RATES, join_complexity_config
+from repro.experiments.base import ExperimentResult
+from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
 
-__all__ = ["run", "STRATEGIES", "SELECTIVITIES", "improvement_table"]
+__all__ = ["run", "build_spec", "STRATEGIES", "SELECTIVITIES", "improvement_table"]
 
 STRATEGIES = (
     "psu_noIO+LUM",
@@ -27,54 +27,12 @@ BASELINE = "psu_opt+RANDOM"
 SELECTIVITIES = (0.001, 0.01, 0.02, 0.05)
 
 
-def run(
-    selectivities: Sequence[float] = SELECTIVITIES,
-    strategies: Sequence[str] = STRATEGIES,
-    num_pe: int = 60,
-    measured_joins: Optional[int] = None,
-    max_simulated_time: Optional[float] = None,
-) -> ExperimentResult:
-    """Reproduce Fig. 8.
-
-    The experiment stores the absolute response times; use
-    :func:`improvement_table` to obtain the paper's relative-improvement view
-    (the baseline psu-opt + RANDOM is included as its own series).
-    """
-    experiment = ExperimentResult(
-        figure="figure8",
-        title=f"Fig. 8: influence of join complexity ({num_pe} PE, selectivity sweep)",
-        x_label="selectivity %",
-    )
-    for selectivity in selectivities:
-        config = join_complexity_config(selectivity, num_pe=num_pe)
-        baseline_result = run_point(
-            config, BASELINE, measured_joins=measured_joins, max_simulated_time=max_simulated_time
-        )
-        experiment.add(
-            ExperimentPoint(
-                figure="figure8", series=BASELINE, x=selectivity * 100, result=baseline_result
-            )
-        )
-        for strategy in strategies:
-            result = run_point(
-                config,
-                strategy,
-                measured_joins=measured_joins,
-                max_simulated_time=max_simulated_time,
-            )
-            experiment.add(
-                ExperimentPoint(
-                    figure="figure8", series=strategy, x=selectivity * 100, result=result
-                )
-            )
-    return experiment
-
-
 def improvement_table(experiment: ExperimentResult) -> str:
     """Relative response-time improvement (%) versus psu-opt + RANDOM."""
+    strategies = [name for name in experiment.series_names() if name != BASELINE]
     lines = [
         "Fig. 8: relative response time improvement vs psu_opt+RANDOM [%]",
-        f"{'selectivity %':>14} | " + " | ".join(f"{name:>14}" for name in STRATEGIES),
+        f"{'selectivity %':>14} | " + " | ".join(f"{name:>14}" for name in strategies),
     ]
     lines.append("-" * len(lines[-1]))
     for x in experiment.x_values():
@@ -82,7 +40,7 @@ def improvement_table(experiment: ExperimentResult) -> str:
         if baseline is None or baseline.result.join_response_time <= 0:
             continue
         cells = []
-        for name in STRATEGIES:
+        for name in strategies:
             point = experiment.value(name, x)
             if point is None:
                 cells.append(" " * 14)
@@ -93,3 +51,61 @@ def improvement_table(experiment: ExperimentResult) -> str:
             cells.append(f"{improvement:>14.1f}")
         lines.append(f"{x:>14g} | " + " | ".join(cells))
     return "\n".join(lines)
+
+
+def build_spec(
+    selectivities: Sequence[float] = SELECTIVITIES,
+    strategies: Sequence[str] = STRATEGIES,
+    num_pe: int = 60,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+) -> ScenarioSpec:
+    """Declare Fig. 8 as a scenario spec (baseline first, then strategies)."""
+    common = dict(
+        kind="multi",
+        scenario="join-complexity",
+        system_sizes=(num_pe,),
+        selectivities=tuple(selectivities),
+        x_axis="selectivity_pct",
+    )
+    sweeps = (
+        Sweep(strategies=(BASELINE,), **common),
+        Sweep(strategies=tuple(strategies), **common),
+    )
+    return ScenarioSpec(
+        name="figure8",
+        title=f"Fig. 8: influence of join complexity ({num_pe} PE, selectivity sweep)",
+        x_label="selectivity %",
+        sweeps=sweeps,
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+        extra_tables=(improvement_table,),
+    )
+
+
+register_scenario("figure8", build_spec)
+
+
+def run(
+    selectivities: Sequence[float] = SELECTIVITIES,
+    strategies: Sequence[str] = STRATEGIES,
+    num_pe: int = 60,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    """Reproduce Fig. 8.
+
+    The experiment stores the absolute response times; use
+    :func:`improvement_table` to obtain the paper's relative-improvement view
+    (the baseline psu-opt + RANDOM is included as its own series).
+    """
+    spec = build_spec(
+        selectivities=selectivities,
+        strategies=strategies,
+        num_pe=num_pe,
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+    )
+    return ParallelRunner(workers=workers, cache=cache).run(spec)

@@ -12,15 +12,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import (
-    PAPER_SYSTEM_SIZES,
-    ExperimentPoint,
-    ExperimentResult,
-    run_point,
-)
-from repro.experiments.scenarios import mixed_workload_config
+from repro.experiments.base import PAPER_SYSTEM_SIZES, ExperimentResult
+from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
 
-__all__ = ["run", "STRATEGIES"]
+__all__ = ["run", "build_spec", "STRATEGIES"]
 
 STRATEGIES = (
     "psu_opt+RANDOM",
@@ -31,36 +26,56 @@ STRATEGIES = (
 )
 
 
+def build_spec(
+    oltp_placement: str = "A",
+    system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
+    strategies: Sequence[str] = STRATEGIES,
+    measured_joins: Optional[int] = None,
+    max_simulated_time: Optional[float] = None,
+) -> ScenarioSpec:
+    """Declare Fig. 9a (``oltp_placement="A"``) or Fig. 9b (``"B"``) as a spec."""
+    placement = oltp_placement.upper()
+    panel = "a" if placement == "A" else "b"
+    return ScenarioSpec(
+        name=f"figure9{panel}",
+        title=(
+            f"Fig. 9{panel}: mixed workload, OLTP on {placement} nodes "
+            "(100 TPS/node, joins 0.075 QPS/PE, 5 disks/PE)"
+        ),
+        x_label="# PE",
+        sweeps=(
+            Sweep(
+                kind="multi",
+                scenario="mixed",
+                strategies=tuple(strategies),
+                system_sizes=tuple(system_sizes),
+                oltp_placements=(placement,),
+            ),
+        ),
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
+    )
+
+
+register_scenario("figure9a", lambda **kwargs: build_spec(oltp_placement="A", **kwargs))
+register_scenario("figure9b", lambda **kwargs: build_spec(oltp_placement="B", **kwargs))
+
+
 def run(
     oltp_placement: str = "A",
     system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
     strategies: Sequence[str] = STRATEGIES,
     measured_joins: Optional[int] = None,
     max_simulated_time: Optional[float] = None,
+    workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 9a (``oltp_placement="A"``) or Fig. 9b (``"B"``)."""
-    placement = oltp_placement.upper()
-    panel = "a" if placement == "A" else "b"
-    experiment = ExperimentResult(
-        figure=f"figure9{panel}",
-        title=(
-            f"Fig. 9{panel}: mixed workload, OLTP on {placement} nodes "
-            "(100 TPS/node, joins 0.075 QPS/PE, 5 disks/PE)"
-        ),
-        x_label="# PE",
+    spec = build_spec(
+        oltp_placement=oltp_placement,
+        system_sizes=system_sizes,
+        strategies=strategies,
+        measured_joins=measured_joins,
+        max_simulated_time=max_simulated_time,
     )
-    for num_pe in system_sizes:
-        config = mixed_workload_config(num_pe, oltp_placement=placement)
-        for strategy in strategies:
-            result = run_point(
-                config,
-                strategy,
-                measured_joins=measured_joins,
-                max_simulated_time=max_simulated_time,
-            )
-            experiment.add(
-                ExperimentPoint(
-                    figure=experiment.figure, series=strategy, x=num_pe, result=result
-                )
-            )
-    return experiment
+    return ParallelRunner(workers=workers, cache=cache).run(spec)

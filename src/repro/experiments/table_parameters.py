@@ -8,8 +8,9 @@ glance (and regression-tested).
 from __future__ import annotations
 
 from repro.config.parameters import SystemConfig
+from repro.runner import ScenarioSpec, register_scenario
 
-__all__ = ["render", "rows"]
+__all__ = ["render", "rows", "build_spec"]
 
 
 def rows(config: SystemConfig | None = None) -> list[tuple[str, str]]:
@@ -60,3 +61,17 @@ def render(config: SystemConfig | None = None) -> str:
     lines = ["Fig. 4: system configuration, database and query profile"]
     lines += [f"  {name:<{width}}  {value}" for name, value in pairs]
     return "\n".join(lines)
+
+
+def build_spec() -> ScenarioSpec:
+    """The parameter table as a (non-simulated) registry scenario."""
+    return ScenarioSpec(
+        name="parameters",
+        title="Fig. 4: system configuration, database and query profile",
+        x_label="parameter",
+        sweeps=(),
+        static_table=render,
+    )
+
+
+register_scenario("parameters", build_spec)

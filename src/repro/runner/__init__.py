@@ -1,0 +1,42 @@
+"""Declarative scenario engine and parallel experiment runner.
+
+The experiment layer is split into three pieces:
+
+* :mod:`repro.runner.spec` -- :class:`ScenarioSpec`/:class:`Sweep`
+  dataclasses that declare a figure (or an ad-hoc sweep) as *data*: axes
+  (strategies, system sizes, arrival rates, selectivities, OLTP placement),
+  per-point configuration overrides and run limits.
+* :mod:`repro.runner.registry` -- a named registry mapping scenario names
+  (``figure5``, ``figure9a``, ...) to spec builders, populated by the
+  modules under :mod:`repro.experiments`.
+* :mod:`repro.runner.runner` -- :class:`ParallelRunner`, which expands a
+  spec into independent points and fans them out over a
+  ``ProcessPoolExecutor`` (serial fallback for ``workers=1``), with an
+  optional on-disk :class:`~repro.runner.cache.ResultCache`.
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.registry import (
+    available_scenarios,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+)
+from repro.runner.runner import ParallelRunner, execute_point
+from repro.runner.spec import PointSpec, ScenarioSpec, Sweep, derive_seed, expand
+
+__all__ = [
+    "ParallelRunner",
+    "PointSpec",
+    "ResultCache",
+    "ScenarioSpec",
+    "Sweep",
+    "available_scenarios",
+    "build_scenario",
+    "default_cache_dir",
+    "derive_seed",
+    "execute_point",
+    "expand",
+    "get_scenario",
+    "register_scenario",
+]

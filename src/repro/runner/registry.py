@@ -1,0 +1,61 @@
+"""Named scenario registry.
+
+Figure modules under :mod:`repro.experiments` register a *spec builder* per
+scenario: a callable returning a :class:`~repro.runner.spec.ScenarioSpec`,
+optionally parameterised by axis overrides (system sizes, strategies, run
+limits, ...).  The CLI and the benchmark harness resolve scenarios by name
+through this registry instead of importing figure modules directly.
+
+The registry is populated as a side effect of importing
+:mod:`repro.experiments`; :func:`get_scenario` triggers that import lazily
+to avoid a circular dependency (figure modules import the runner package).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List
+
+from repro.runner.spec import ScenarioSpec
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "build_scenario",
+    "available_scenarios",
+]
+
+SpecBuilder = Callable[..., ScenarioSpec]
+
+_REGISTRY: Dict[str, SpecBuilder] = {}
+
+
+def register_scenario(name: str, builder: SpecBuilder) -> SpecBuilder:
+    """Register a spec builder under ``name`` (last registration wins)."""
+    _REGISTRY[name] = builder
+    return builder
+
+
+def _ensure_populated() -> None:
+    if not _REGISTRY:
+        importlib.import_module("repro.experiments")
+
+
+def get_scenario(name: str) -> SpecBuilder:
+    """Look up a registered spec builder by name."""
+    _ensure_populated()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def build_scenario(name: str, **overrides) -> ScenarioSpec:
+    """Build the named scenario's spec with axis/limit overrides applied."""
+    return get_scenario(name)(**overrides)
+
+
+def available_scenarios() -> List[str]:
+    _ensure_populated()
+    return sorted(_REGISTRY)

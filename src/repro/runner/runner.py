@@ -1,0 +1,226 @@
+"""Point execution and the multi-process parallel runner.
+
+:func:`execute_point` turns one :class:`~repro.runner.spec.PointSpec` into a
+:class:`~repro.simulation.results.SimulationResult` dictionary.  It is a
+module-level function taking and returning only picklable primitives, so the
+:class:`ParallelRunner` can ship it to ``ProcessPoolExecutor`` workers under
+any start method (fork or spawn).
+
+Determinism: a point fully determines its simulation (configuration, seed,
+strategy and run limits), so serial and parallel execution produce
+bit-identical results -- the serial fallback deliberately round-trips
+through the same ``to_dict``/``from_dict`` path as the process pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import PointSpec, ScenarioSpec
+from repro.simulation.results import SimulationResult
+
+__all__ = ["ParallelRunner", "execute_point", "build_config", "apply_config_overrides"]
+
+
+def _replace_path(obj, path: str, value):
+    """Return ``obj`` with the dotted dataclass-field ``path`` replaced."""
+    import dataclasses
+
+    field_names = (
+        {f.name for f in dataclasses.fields(obj)} if dataclasses.is_dataclass(obj) else set()
+    )
+    head, _, rest = path.partition(".")
+    if head not in field_names:
+        raise AttributeError(f"config has no field {head!r} (override path {path!r})")
+    current = getattr(obj, head)
+    if rest:
+        value = _replace_path(current, rest, value)
+    elif dataclasses.is_dataclass(current) and not dataclasses.is_dataclass(value):
+        raise AttributeError(
+            f"config field {head!r} is a section, not a scalar; "
+            f"override one of its fields instead (e.g. {head}.<field>)"
+        )
+    return replace(obj, **{head: value})
+
+
+def apply_config_overrides(config, overrides: Sequence[Sequence[object]]):
+    """Apply dotted-path overrides, e.g. ``("buffer.buffer_pages", 5)``."""
+    for path, value in overrides:
+        config = _replace_path(config, str(path), value)
+    return config
+
+
+def build_config(point: PointSpec):
+    """Build the :class:`SystemConfig` for one point from its scenario axes."""
+    from repro.experiments import scenarios
+
+    if point.scenario == "homogeneous":
+        config = scenarios.homogeneous_config(
+            point.num_pe,
+            scan_selectivity=point.selectivity if point.selectivity is not None else 0.01,
+            arrival_rate_per_pe=point.rate if point.rate is not None else 0.25,
+            seed=point.seed,
+        )
+    elif point.scenario == "memory-bound":
+        kwargs = {"seed": point.seed}
+        if point.rate is not None:
+            kwargs["arrival_rate_per_pe"] = point.rate
+        config = scenarios.memory_bound_config(point.num_pe, **kwargs)
+        if point.selectivity is not None:
+            config = _replace_path(config, "join_query.scan_selectivity", point.selectivity)
+    elif point.scenario == "join-complexity":
+        config = scenarios.join_complexity_config(
+            point.selectivity if point.selectivity is not None else 0.01,
+            num_pe=point.num_pe,
+            arrival_rate_per_pe=point.rate,
+            seed=point.seed,
+        )
+    elif point.scenario == "mixed":
+        kwargs = {"seed": point.seed, "oltp_placement": point.oltp_placement or "A"}
+        if point.rate is not None:
+            kwargs["join_rate_per_pe"] = point.rate
+        config = scenarios.mixed_workload_config(point.num_pe, **kwargs)
+        if point.selectivity is not None:
+            config = _replace_path(config, "join_query.scan_selectivity", point.selectivity)
+    else:
+        raise ValueError(f"unknown scenario builder {point.scenario!r}")
+    return apply_config_overrides(config, point.config_overrides)
+
+
+def _analytic_result(config, degree: int, estimate_seconds: float) -> SimulationResult:
+    """Wrap an analytic cost-model estimate in a SimulationResult record."""
+    return SimulationResult(
+        strategy=f"analytic p={degree}",
+        num_pe=config.num_pe,
+        mode="analytic",
+        simulated_seconds=0.0,
+        joins_completed=0,
+        join_response_time=estimate_seconds,
+        join_response_time_p95=estimate_seconds,
+        join_response_time_ci=0.0,
+        average_degree=float(degree),
+        average_overflow_pages=0.0,
+        average_memory_wait=0.0,
+        cpu_utilization=0.0,
+        disk_utilization=0.0,
+        memory_utilization=0.0,
+    )
+
+
+def run_point_spec(point: PointSpec) -> SimulationResult:
+    """Execute one point in-process and return the raw result object."""
+    from repro.experiments.base import default_measured_joins, default_time_limit
+    from repro.scheduling.cost_model import CostModel
+    from repro.scheduling.degree import FixedDegree
+    from repro.scheduling.placement import RandomPlacement
+    from repro.scheduling.strategy import IsolatedStrategy
+    from repro.simulation.driver import SimulationDriver
+    from repro.workload.query import JoinQuery
+
+    config = build_config(point)
+    if point.kind == "multi":
+        measured = (
+            point.measured_joins if point.measured_joins is not None else default_measured_joins()
+        )
+        warmup = point.warmup_joins if point.warmup_joins is not None else max(5, measured // 5)
+        limit = (
+            point.max_simulated_time
+            if point.max_simulated_time is not None
+            else default_time_limit()
+        )
+        driver = SimulationDriver(config, strategy=point.strategy)
+        return driver.run_multi_user(
+            warmup_joins=warmup, measured_joins=measured, max_simulated_time=limit
+        )
+    if point.kind == "single":
+        driver = SimulationDriver(config, strategy=point.strategy)
+        return driver.run_single_user(num_queries=point.num_queries or 5)
+    if point.kind == "fixed-degree":
+        strategy = IsolatedStrategy(
+            FixedDegree(point.degree, name=f"fixed({point.degree})"),
+            RandomPlacement(seed=config.seed),
+        )
+        driver = SimulationDriver(config, strategy=strategy)
+        return driver.run_single_user(num_queries=point.num_queries or 2)
+    if point.kind == "analytic":
+        cost_model = CostModel(config)
+        query = JoinQuery(scan_selectivity=config.join_query.scan_selectivity)
+        estimate = cost_model.estimate_response_time(query, point.degree)
+        return _analytic_result(config, point.degree, estimate)
+    raise ValueError(f"unknown point kind {point.kind!r}")
+
+
+def execute_point(payload: Union[PointSpec, Mapping[str, object]]) -> Dict[str, object]:
+    """Worker entry point: run one point and return a picklable result dict."""
+    point = payload if isinstance(payload, PointSpec) else PointSpec(**dict(payload))
+    return run_point_spec(point).to_dict()
+
+
+class ParallelRunner:
+    """Fans independent scenario points out over a process pool.
+
+    ``workers=1`` runs everything serially in-process (no pool);
+    ``workers=None`` or ``0`` uses one worker per CPU core.  An optional
+    :class:`ResultCache` short-circuits points that were already simulated
+    with an identical (config, strategy, workload, limits) key.
+    """
+
+    def __init__(self, workers: Optional[int] = 1, cache: Optional[ResultCache] = None):
+        if workers in (None, 0):
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1 (or None/0 for one per core)")
+        self.workers = workers
+        self.cache = cache
+
+    def run(self, spec: ScenarioSpec) -> "ExperimentResult":
+        """Run every point of a scenario and collect an ExperimentResult."""
+        from repro.experiments.base import ExperimentPoint, ExperimentResult
+
+        points = spec.points()
+        results = self.run_points(points)
+        experiment = ExperimentResult(figure=spec.name, title=spec.title, x_label=spec.x_label)
+        for point, result in zip(points, results):
+            experiment.add(
+                ExperimentPoint(figure=point.figure, series=point.series, x=point.x, result=result)
+            )
+        return experiment
+
+    def run_points(self, points: Sequence[PointSpec]) -> List[SimulationResult]:
+        """Run points (cache-aware), preserving input order in the output."""
+        results: Dict[int, SimulationResult] = {}
+        pending: List[int] = []
+        for index, point in enumerate(points):
+            cached = self.cache.get(point) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        def complete(index: int, data: Mapping[str, object]) -> None:
+            # Cache each point as soon as it finishes so a failing or
+            # interrupted sibling cannot discard already-computed work.
+            result = SimulationResult.from_dict(data)
+            results[index] = result
+            if self.cache is not None:
+                self.cache.put(points[index], result)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                for index in pending:
+                    complete(index, execute_point(asdict(points[index])))
+            else:
+                max_workers = min(self.workers, len(pending))
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = {
+                        pool.submit(execute_point, asdict(points[index])): index
+                        for index in pending
+                    }
+                    for future in as_completed(futures):
+                        complete(futures[future], future.result())
+
+        return [results[index] for index in range(len(points))]

@@ -1,0 +1,286 @@
+"""Declarative scenario model: figures and ad-hoc sweeps as data.
+
+A :class:`ScenarioSpec` holds one or more :class:`Sweep` blocks.  Each sweep
+is a cartesian product over its axes (system sizes, arrival rates, scan
+selectivities, OLTP placements, strategies or fixed degrees); expanding a
+spec yields a flat tuple of :class:`PointSpec` records, each of which fully
+describes one independent simulation run with primitive, picklable fields.
+That makes points safe to ship to worker processes and stable to hash for
+the on-disk result cache.
+
+Seeding: every point carries an explicit seed.  By default all points of a
+scenario share the spec's base seed (the paper fixes ``seed=42`` for every
+configuration, and this keeps the engine's tables identical to the legacy
+serial loops).  Sweeps with ``reseed_per_point=True`` instead derive a
+deterministic per-point seed from the base seed and the point's coordinates
+via :func:`derive_seed`, which is what replicated/perturbed sweeps use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Sweep",
+    "ScenarioSpec",
+    "PointSpec",
+    "derive_seed",
+    "expand",
+]
+
+#: Kinds of point execution understood by the runner.
+POINT_KINDS = ("multi", "single", "fixed-degree", "analytic")
+
+#: Named configuration builders (see ``repro.runner.runner.build_config``).
+SCENARIO_BUILDERS = ("homogeneous", "memory-bound", "join-complexity", "mixed")
+
+#: Axes a sweep may use as its x values.
+X_AXES = ("num_pe", "selectivity_pct", "rate", "degree")
+
+
+def derive_seed(base_seed: int, *components: object) -> int:
+    """Deterministic 31-bit seed derived from a base seed and coordinates.
+
+    Stable across processes and Python versions (unlike ``hash``), so a
+    point re-run anywhere reproduces the same arrival streams.
+    """
+    text = repr((int(base_seed),) + tuple(str(c) for c in components))
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One axis-product of simulation points sharing a series template.
+
+    ``None`` entries on the rate/selectivity/placement axes mean "use the
+    scenario builder's default for that parameter".
+    """
+
+    kind: str = "multi"  # one of POINT_KINDS
+    scenario: str = "homogeneous"  # one of SCENARIO_BUILDERS
+    strategies: Tuple[str, ...] = ()
+    system_sizes: Tuple[int, ...] = ()
+    rates: Tuple[Optional[float], ...] = (None,)
+    selectivities: Tuple[Optional[float], ...] = (None,)
+    oltp_placements: Tuple[Optional[str], ...] = (None,)
+    degrees: Tuple[int, ...] = ()
+    x_axis: str = "num_pe"  # one of X_AXES
+    series: str = "{strategy}"
+    num_queries: Optional[int] = None  # single-user / fixed-degree points
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+    reseed_per_point: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in POINT_KINDS:
+            raise ValueError(f"unknown sweep kind {self.kind!r}")
+        if self.scenario not in SCENARIO_BUILDERS:
+            raise ValueError(f"unknown scenario builder {self.scenario!r}")
+        if self.x_axis not in X_AXES:
+            raise ValueError(f"unknown x axis {self.x_axis!r}")
+        if self.kind in ("fixed-degree", "analytic"):
+            if not self.degrees:
+                raise ValueError(f"sweep kind {self.kind!r} requires degrees")
+        elif not self.strategies:
+            raise ValueError(f"sweep kind {self.kind!r} requires strategies")
+        if not self.system_sizes:
+            raise ValueError("a sweep needs at least one system size")
+        if self.x_axis == "rate" and any(rate is None for rate in self.rates):
+            raise ValueError("x_axis='rate' requires explicit rates")
+        if self.x_axis == "selectivity_pct" and any(s is None for s in self.selectivities):
+            raise ValueError("x_axis='selectivity_pct' requires explicit selectivities")
+        if self.x_axis == "degree" and not self.degrees:
+            raise ValueError("x_axis='degree' requires degrees")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named experiment declared as data: sweeps plus shared run limits.
+
+    ``measured_joins``/``max_simulated_time`` of ``None`` defer to the
+    environment-overridable defaults of :mod:`repro.experiments.base` at
+    execution time.  ``extra_tables`` are post-processors rendering
+    additional report tables from the finished
+    :class:`~repro.experiments.base.ExperimentResult` (e.g. the Fig. 7
+    degree annotations); they run in the parent process only.
+    """
+
+    name: str
+    title: str
+    x_label: str
+    sweeps: Tuple[Sweep, ...] = ()
+    measured_joins: Optional[int] = None
+    warmup_joins: Optional[int] = None
+    max_simulated_time: Optional[float] = None
+    seed: int = 42
+    extra_tables: Tuple[Callable[["object"], str], ...] = field(
+        default_factory=tuple, compare=False
+    )
+    #: For non-simulated scenarios (the Fig. 4 parameter table): a renderer
+    #: the CLI prints instead of the sweep table when the spec has no points.
+    static_table: Optional[Callable[[], str]] = field(default=None, compare=False)
+
+    def points(self) -> Tuple["PointSpec", ...]:
+        return expand(self)
+
+    def with_limits(
+        self,
+        measured_joins: Optional[int] = None,
+        max_simulated_time: Optional[float] = None,
+    ) -> "ScenarioSpec":
+        """Copy with run limits replaced (``None`` keeps the current value)."""
+        updates = {}
+        if measured_joins is not None:
+            updates["measured_joins"] = measured_joins
+        if max_simulated_time is not None:
+            updates["max_simulated_time"] = max_simulated_time
+        return replace(self, **updates) if updates else self
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One fully-resolved simulation point.
+
+    Every field is a primitive (or tuple of primitives), so a point can be
+    pickled to a worker process and hashed for the result cache.  The
+    ``figure``/``series``/``x`` fields are presentation-only; the remaining
+    fields determine the simulation outcome and form the cache key (see
+    :meth:`cache_payload`).
+    """
+
+    figure: str
+    series: str
+    x: float
+    kind: str
+    scenario: str
+    num_pe: int
+    seed: int
+    strategy: Optional[str] = None
+    degree: Optional[int] = None
+    rate: Optional[float] = None
+    selectivity: Optional[float] = None
+    oltp_placement: Optional[str] = None
+    num_queries: Optional[int] = None
+    measured_joins: Optional[int] = None
+    warmup_joins: Optional[int] = None
+    max_simulated_time: Optional[float] = None
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def cache_payload(self) -> Tuple[Tuple[str, object], ...]:
+        """The (key, value) pairs that determine this point's result."""
+        return (
+            ("kind", self.kind),
+            ("scenario", self.scenario),
+            ("num_pe", self.num_pe),
+            ("seed", self.seed),
+            ("strategy", self.strategy),
+            ("degree", self.degree),
+            ("rate", self.rate),
+            ("selectivity", self.selectivity),
+            ("oltp_placement", self.oltp_placement),
+            ("num_queries", self.num_queries),
+            ("measured_joins", self.measured_joins),
+            ("warmup_joins", self.warmup_joins),
+            ("max_simulated_time", self.max_simulated_time),
+            ("config_overrides", self.config_overrides),
+        )
+
+
+def _series_label(sweep: Sweep, **context: object) -> str:
+    return sweep.series.format(**context)
+
+
+def _x_value(sweep: Sweep, num_pe: int, selectivity, rate, degree) -> float:
+    if sweep.x_axis == "num_pe":
+        return float(num_pe)
+    if sweep.x_axis == "selectivity_pct":
+        return float(selectivity) * 100.0
+    if sweep.x_axis == "rate":
+        return float(rate)
+    return float(degree)
+
+
+def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
+    """Expand a scenario into its flat, ordered tuple of points.
+
+    Axis nesting (outer to inner): system size, selectivity, rate, OLTP
+    placement, then strategy/degree -- matching the iteration order of the
+    legacy hand-written figure loops, so series appear in the same order in
+    the rendered tables.
+
+    Run limits left as ``None`` on the spec are resolved *here* (against the
+    ``REPRO_BENCH_JOINS``/``REPRO_BENCH_TIME_LIMIT`` environment defaults),
+    not in the worker, so the resolved values are part of every point and of
+    its cache key -- runs under different environment settings never collide
+    on one cache entry.
+    """
+    from repro.experiments.base import default_measured_joins, default_time_limit
+
+    measured = spec.measured_joins if spec.measured_joins is not None else default_measured_joins()
+    warmup = spec.warmup_joins if spec.warmup_joins is not None else max(5, measured // 5)
+    limit = (
+        spec.max_simulated_time if spec.max_simulated_time is not None else default_time_limit()
+    )
+    points: List[PointSpec] = []
+    for sweep in spec.sweeps:
+        inner: Sequence[object] = (
+            sweep.degrees if sweep.kind in ("fixed-degree", "analytic") else sweep.strategies
+        )
+        for num_pe in sweep.system_sizes:
+            for selectivity in sweep.selectivities:
+                for rate in sweep.rates:
+                    for placement in sweep.oltp_placements:
+                        for member in inner:
+                            strategy = None
+                            degree = None
+                            if sweep.kind in ("fixed-degree", "analytic"):
+                                degree = int(member)  # type: ignore[arg-type]
+                                if degree > num_pe:
+                                    continue
+                            else:
+                                strategy = str(member)
+                            x = _x_value(sweep, num_pe, selectivity, rate, degree)
+                            label = _series_label(
+                                sweep,
+                                strategy=strategy,
+                                degree=degree,
+                                num_pe=num_pe,
+                                rate=rate,
+                                selectivity=selectivity,
+                                selectivity_pct=(
+                                    selectivity * 100.0 if selectivity is not None else None
+                                ),
+                                placement=placement,
+                            )
+                            seed = spec.seed
+                            if sweep.reseed_per_point:
+                                seed = derive_seed(spec.seed, label, x)
+                            points.append(
+                                PointSpec(
+                                    figure=spec.name,
+                                    series=label,
+                                    x=x,
+                                    kind=sweep.kind,
+                                    scenario=sweep.scenario,
+                                    num_pe=num_pe,
+                                    seed=seed,
+                                    strategy=strategy,
+                                    degree=degree,
+                                    rate=rate,
+                                    selectivity=selectivity,
+                                    oltp_placement=placement,
+                                    num_queries=(
+                                        None
+                                        if sweep.kind in ("multi", "analytic")
+                                        else sweep.num_queries
+                                        or (2 if sweep.kind == "fixed-degree" else 5)
+                                    ),
+                                    measured_joins=measured if sweep.kind == "multi" else None,
+                                    warmup_joins=warmup if sweep.kind == "multi" else None,
+                                    max_simulated_time=limit if sweep.kind == "multi" else None,
+                                    config_overrides=sweep.config_overrides,
+                                )
+                            )
+    return tuple(points)

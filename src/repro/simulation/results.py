@@ -1,9 +1,18 @@
-"""Result records produced by simulation runs."""
+"""Result records produced by simulation runs.
+
+:class:`SimulationResult` is the unit of data that crosses process
+boundaries (the parallel runner ships results back from worker processes)
+and lands in the on-disk result cache, so it round-trips losslessly through
+:meth:`~SimulationResult.to_dict` / :meth:`~SimulationResult.from_dict` /
+:meth:`~SimulationResult.to_json`.  The human-facing rounded view used by
+reports and CSV export lives in :meth:`~SimulationResult.report_dict`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
 
 __all__ = ["SimulationResult"]
 
@@ -36,8 +45,33 @@ class SimulationResult:
         """Mean join response time in milliseconds (the paper's unit)."""
         return self.join_response_time * 1e3
 
-    def to_dict(self) -> Dict[str, object]:
-        """Flat dictionary representation (for reports and CSV export)."""
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless, JSON-compatible dictionary of all fields (incl. extras)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Unknown keys are ignored so that cache entries written by newer
+        versions (with additional fields) still load.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        result = cls(**kwargs)
+        result.extras = dict(result.extras)
+        return result
+
+    def to_json(self) -> str:
+        """JSON serialisation (exact float round-trip via ``repr`` grammar)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        return cls.from_dict(json.loads(text))
+
+    def report_dict(self) -> Dict[str, object]:
+        """Flat rounded dictionary representation (for reports and CSV export)."""
         data = {
             "strategy": self.strategy,
             "num_pe": self.num_pe,

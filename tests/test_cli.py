@@ -55,10 +55,71 @@ def test_experiment_figure6_tiny(capsys):
     assert "OPT-IO-CPU" in output
 
 
+def test_experiment_workers_flag_parallel_run(capsys):
+    code = main([
+        "experiment", "figure6", "--joins", "5", "--sizes", "10",
+        "--time-limit", "20", "--workers", "2", "--no-cache",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fig. 6" in output
+    assert "OPT-IO-CPU" in output
+
+
+def test_experiment_uses_result_cache(tmp_path, capsys):
+    argv = [
+        "experiment", "figure6", "--joins", "5", "--sizes", "10",
+        "--time-limit", "20", "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert "0 hit(s)" in first.err
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert "0 miss(es)" in second.err
+    assert first.out == second.out
+
+
+def test_sweep_adhoc_scenario_and_cache(tmp_path, capsys):
+    argv = [
+        "sweep", "--strategies", "OPT-IO-CPU", "psu_opt+RANDOM",
+        "--sizes", "10", "20", "--rates", "0.2", "0.3",
+        "--joins", "5", "--time-limit", "20", "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "Ad-hoc sweep" in captured.out
+    assert "OPT-IO-CPU @0.2 QPS/PE" in captured.out
+    assert "0 hit(s)" in captured.err
+    # A repeated run is served entirely from the result cache.
+    assert main(argv) == 0
+    repeated = capsys.readouterr()
+    assert "8 hit(s), 0 miss(es)" in repeated.err
+    assert repeated.out == captured.out
+
+
+def test_sweep_config_override_and_selectivity_axis(capsys):
+    code = main([
+        "sweep", "--strategies", "OPT-IO-CPU", "--sizes", "10",
+        "--selectivities", "0.005", "0.01", "--joins", "5",
+        "--time-limit", "20", "--set", "buffer.buffer_pages=25", "--no-cache",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "selectivity %" in output
+    assert "0.5" in output  # 0.005 -> 0.5 %
+
+
 def test_parser_rejects_unknown_figure():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["experiment", "figure42"])
+
+
+def test_parser_rejects_bad_override():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--strategies", "OPT-IO-CPU", "--sizes", "10",
+              "--set", "buffer.buffer_pages", "--no-cache"])
 
 
 def test_parser_requires_command():

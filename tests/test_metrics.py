@@ -105,7 +105,12 @@ def test_simulation_result_units():
         extras={"custom": 1.23456},
     )
     assert result.join_response_time_ms == pytest.approx(750.0)
-    data = result.to_dict()
+    data = result.report_dict()
     assert data["join_rt_ms"] == 750.0
     assert data["custom"] == pytest.approx(1.2346)
     assert "X" in result.row()
+    # The lossless view keeps raw field names/values and the extras mapping.
+    raw = result.to_dict()
+    assert raw["join_response_time"] == 0.75
+    assert raw["extras"] == {"custom": 1.23456}
+    assert SimulationResult.from_dict(raw) == result

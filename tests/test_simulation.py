@@ -10,6 +10,7 @@ from repro import (
     WorkloadSpec,
     make_strategy,
 )
+from repro.simulation.results import SimulationResult
 from repro.workload import JoinQuery, OltpTransaction
 
 
@@ -147,13 +148,16 @@ def test_multi_user_respects_time_limit():
 def test_result_serialisation_round_trip():
     driver = SimulationDriver(small_config(), strategy="pmu_cpu+LUM")
     result = driver.run_multi_user(warmup_joins=1, measured_joins=5, max_simulated_time=30)
-    data = result.to_dict()
+    data = result.report_dict()
     assert data["strategy"] == "pmu_cpu+LUM"
     assert data["num_pe"] == 10
     assert data["join_rt_ms"] == pytest.approx(result.join_response_time * 1e3, rel=1e-3)
     assert "cpu_util" in data
     line = result.row()
     assert "pmu_cpu+LUM" in line
+    # Lossless JSON round-trip (what the parallel runner and cache rely on).
+    restored = SimulationResult.from_json(result.to_json())
+    assert restored == result
 
 
 def test_workload_spec_driven_run():

@@ -6,12 +6,15 @@ Examples::
     repro-lb parameters
     repro-lb simulate --pe 40 --strategy OPT-IO-CPU --joins 50
     repro-lb experiment figure6 --joins 30 --sizes 20 40 80 --workers 4
+    repro-lb experiment figure6 --replicates 5 --workers 4 --export csv --output out.csv
     repro-lb sweep --strategies MIN-IO OPT-IO-CPU --sizes 20 40 --rates 0.2 0.3
 
 Experiments and sweeps run through the declarative scenario engine
 (:mod:`repro.runner`): points fan out over ``--workers`` processes and
 completed points are cached on disk (``--no-cache`` disables the cache,
-``REPRO_CACHE_DIR`` relocates it).
+``REPRO_CACHE_DIR`` relocates it).  ``--replicates N`` repeats every point
+with distinct derived seeds and reports mean ± 95 % CI; ``--export csv|json``
+writes the per-replicate and aggregate rows to a file.
 """
 
 from __future__ import annotations
@@ -43,6 +46,13 @@ def _worker_count(text: str) -> int:
     return value
 
 
+def _replicate_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -59,6 +69,26 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-lb)",
+    )
+    parser.add_argument(
+        "--replicates",
+        type=_replicate_count,
+        default=1,
+        help=(
+            "independent runs per point with distinct derived seeds; tables "
+            "then report mean ± 95%% CI across replicates"
+        ),
+    )
+    parser.add_argument(
+        "--export",
+        choices=("csv", "json"),
+        default=None,
+        help="also write the result rows (per replicate + aggregates) to a file",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="export destination (default: <figure>.<format> in the working directory)",
     )
 
 
@@ -151,15 +181,32 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_spec_result(spec: ScenarioSpec, runner: ParallelRunner) -> None:
+def _print_spec_result(spec: ScenarioSpec, runner: ParallelRunner,
+                       args: argparse.Namespace) -> None:
+    if args.output and not args.export:
+        raise SystemExit("--output requires --export csv|json")
     if not spec.sweeps and spec.static_table is not None:
         print(spec.static_table())
+        if args.replicates > 1:
+            print("note: static tables have no points to replicate", file=sys.stderr)
+        if args.export:
+            print("note: static tables have no result rows to export", file=sys.stderr)
         return
+    if args.replicates > 1:
+        spec = spec.with_replicates(args.replicates)
     experiment = runner.run(spec)
-    print(experiment.table())
+    aggregated = experiment.aggregate() if experiment.has_replicates else None
+    rendered = aggregated if aggregated is not None else experiment
+    print(rendered.table())
     for extra in spec.extra_tables:
         print()
-        print(extra(experiment))
+        print(extra(rendered))
+    if args.export:
+        from repro.experiments.export import collect_rows, export_rows
+
+        rows = collect_rows(experiment, aggregated)
+        path = export_rows(rows, args.output or f"{spec.name}.{args.export}", args.export)
+        print(f"[export] wrote {len(rows)} row(s) to {path}", file=sys.stderr)
     if runner.cache is not None:
         print(
             f"[cache] {runner.cache.hits} hit(s), {runner.cache.misses} miss(es) "
@@ -189,7 +236,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
             else:
                 kwargs["system_sizes"] = args.sizes
     spec = build_scenario(args.figure, **kwargs)
-    _print_spec_result(spec, _make_runner(args))
+    _print_spec_result(spec, _make_runner(args), args)
     return 0
 
 
@@ -269,7 +316,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         apply_config_overrides(SystemConfig(), spec.sweeps[0].config_overrides)
     except (AttributeError, TypeError, ValueError) as exc:
         raise SystemExit(f"invalid --set override: {exc}") from None
-    _print_spec_result(spec, _make_runner(args))
+    _print_spec_result(spec, _make_runner(args), args)
     return 0
 
 

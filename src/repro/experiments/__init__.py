@@ -10,6 +10,8 @@ scenario registry.
 from repro.experiments import figure1, figure5, figure6, figure7, figure8, figure9, table_parameters
 from repro.experiments.base import (
     PAPER_SYSTEM_SIZES,
+    AggregatedExperimentResult,
+    AggregatedPoint,
     ExperimentPoint,
     ExperimentResult,
     default_measured_joins,
@@ -17,6 +19,7 @@ from repro.experiments.base import (
     run_point,
     run_single_user_point,
 )
+from repro.experiments.export import collect_rows, export_rows
 from repro.experiments.scenarios import (
     homogeneous_config,
     join_complexity_config,
@@ -33,10 +36,14 @@ __all__ = [
     "figure8",
     "figure9",
     "PAPER_SYSTEM_SIZES",
+    "AggregatedExperimentResult",
+    "AggregatedPoint",
     "ExperimentPoint",
     "ExperimentResult",
+    "collect_rows",
     "default_measured_joins",
     "default_time_limit",
+    "export_rows",
     "run_point",
     "run_single_user_point",
     "homogeneous_config",

@@ -1,0 +1,59 @@
+"""CSV/JSON export of experiment results.
+
+Rows come from :meth:`ExperimentResult.to_rows` (one row per (series, x,
+replicate), ``row_type="replicate"``) optionally followed by the rows of the
+matching :meth:`AggregatedExperimentResult.to_rows` (one per (series, x),
+``row_type="aggregate"`` with ``n`` and spread columns).  The CSV header is
+the union of all row keys in first-appearance order, so replicate and
+aggregate rows share one parseable table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.base import AggregatedExperimentResult, ExperimentResult
+
+__all__ = ["EXPORT_FORMATS", "collect_rows", "export_rows"]
+
+EXPORT_FORMATS = ("csv", "json")
+
+
+def collect_rows(
+    experiment: ExperimentResult,
+    aggregated: Optional[AggregatedExperimentResult] = None,
+) -> List[Dict[str, object]]:
+    """Per-replicate rows, followed by aggregate rows when provided."""
+    rows = [dict(row) for row in experiment.to_rows()]
+    if aggregated is not None:
+        rows.extend(dict(row) for row in aggregated.to_rows())
+    return rows
+
+
+def export_rows(
+    rows: Sequence[Dict[str, object]],
+    path: Union[str, Path],
+    fmt: str,
+) -> Path:
+    """Write ``rows`` to ``path`` as CSV or JSON; returns the path written."""
+    if fmt not in EXPORT_FORMATS:
+        raise ValueError(f"unknown export format {fmt!r}; expected one of {EXPORT_FORMATS}")
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "csv":
+        fieldnames: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+            writer.writeheader()
+            writer.writerows(rows)
+    else:
+        path.write_text(json.dumps(list(rows), indent=2) + "\n", encoding="utf-8")
+    return path

@@ -22,11 +22,12 @@ from repro.runner.registry import (
     get_scenario,
     register_scenario,
 )
-from repro.runner.runner import ParallelRunner, execute_point
+from repro.runner.runner import ParallelRunner, PointExecutionError, execute_point
 from repro.runner.spec import PointSpec, ScenarioSpec, Sweep, derive_seed, expand
 
 __all__ = [
     "ParallelRunner",
+    "PointExecutionError",
     "PointSpec",
     "ResultCache",
     "ScenarioSpec",

@@ -28,7 +28,8 @@ from repro.simulation.results import SimulationResult
 __all__ = ["ResultCache", "default_cache_dir"]
 
 #: Bump when the result schema or point semantics change: old entries miss.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``replicate`` joined the point cache payload.
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:

@@ -20,10 +20,35 @@ from dataclasses import asdict, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.runner.cache import ResultCache
-from repro.runner.spec import PointSpec, ScenarioSpec
+from repro.runner.spec import DEFAULT_NUM_QUERIES, PointSpec, ScenarioSpec
 from repro.simulation.results import SimulationResult
 
-__all__ = ["ParallelRunner", "execute_point", "build_config", "apply_config_overrides"]
+__all__ = [
+    "ParallelRunner",
+    "PointExecutionError",
+    "execute_point",
+    "build_config",
+    "apply_config_overrides",
+]
+
+
+class PointExecutionError(RuntimeError):
+    """A point's simulation raised; names the failing :class:`PointSpec`.
+
+    A bare exception escaping a worker process otherwise gives no clue which
+    of the (possibly hundreds of) points failed; the original exception is
+    preserved as ``__cause__`` and on the ``cause`` attribute.
+    """
+
+    def __init__(self, point: PointSpec, cause: BaseException):
+        self.point = point
+        self.cause = cause
+        super().__init__(
+            f"point {point.figure}/{point.series!r} (x={point.x:g}, kind={point.kind}, "
+            f"scenario={point.scenario}, num_pe={point.num_pe}, "
+            f"strategy={point.strategy!r}, degree={point.degree}, seed={point.seed}, "
+            f"replicate={point.replicate}) failed: {cause!r}"
+        )
 
 
 def _replace_path(obj, path: str, value):
@@ -138,14 +163,26 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
         )
     if point.kind == "single":
         driver = SimulationDriver(config, strategy=point.strategy)
-        return driver.run_single_user(num_queries=point.num_queries or 5)
+        return driver.run_single_user(
+            num_queries=(
+                point.num_queries
+                if point.num_queries is not None
+                else DEFAULT_NUM_QUERIES["single"]
+            )
+        )
     if point.kind == "fixed-degree":
         strategy = IsolatedStrategy(
             FixedDegree(point.degree, name=f"fixed({point.degree})"),
             RandomPlacement(seed=config.seed),
         )
         driver = SimulationDriver(config, strategy=strategy)
-        return driver.run_single_user(num_queries=point.num_queries or 2)
+        return driver.run_single_user(
+            num_queries=(
+                point.num_queries
+                if point.num_queries is not None
+                else DEFAULT_NUM_QUERIES["fixed-degree"]
+            )
+        )
     if point.kind == "analytic":
         cost_model = CostModel(config)
         query = JoinQuery(scan_selectivity=config.join_query.scan_selectivity)
@@ -186,9 +223,23 @@ class ParallelRunner:
         experiment = ExperimentResult(figure=spec.name, title=spec.title, x_label=spec.x_label)
         for point, result in zip(points, results):
             experiment.add(
-                ExperimentPoint(figure=point.figure, series=point.series, x=point.x, result=result)
+                ExperimentPoint(
+                    figure=point.figure,
+                    series=point.series,
+                    x=point.x,
+                    result=result,
+                    replicate=point.replicate,
+                )
             )
         return experiment
+
+    def run_aggregated(self, spec: ScenarioSpec) -> "AggregatedExperimentResult":
+        """Run a scenario and fold replicates into mean / stddev / 95 % CI.
+
+        Aggregates are bit-identical at any worker count: replicate results
+        are folded in expansion order regardless of completion order.
+        """
+        return self.run(spec).aggregate()
 
     def run_points(self, points: Sequence[PointSpec]) -> List[SimulationResult]:
         """Run points (cache-aware), preserving input order in the output."""
@@ -212,7 +263,11 @@ class ParallelRunner:
         if pending:
             if self.workers <= 1 or len(pending) == 1:
                 for index in pending:
-                    complete(index, execute_point(asdict(points[index])))
+                    try:
+                        data = execute_point(asdict(points[index]))
+                    except Exception as exc:
+                        raise PointExecutionError(points[index], exc) from exc
+                    complete(index, data)
             else:
                 max_workers = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -221,6 +276,30 @@ class ParallelRunner:
                         for index in pending
                     }
                     for future in as_completed(futures):
-                        complete(futures[future], future.result())
+                        index = futures[future]
+                        try:
+                            data = future.result()
+                        except Exception as exc:
+                            # Stop queued siblings; running ones cannot be
+                            # cancelled and the pool shutdown waits for them
+                            # anyway, so harvest their results into the
+                            # cache instead of discarding the work.  Then
+                            # name the failing point instead of surfacing a
+                            # bare worker traceback.
+                            for sibling in futures:
+                                sibling.cancel()
+                            for sibling, sibling_index in futures.items():
+                                if (
+                                    sibling is future
+                                    or sibling_index in results
+                                    or sibling.cancelled()
+                                ):
+                                    continue
+                                try:
+                                    complete(sibling_index, sibling.result())
+                                except Exception:
+                                    pass  # another failing sibling: first error wins
+                            raise PointExecutionError(points[index], exc) from exc
+                        complete(index, data)
 
         return [results[index] for index in range(len(points))]

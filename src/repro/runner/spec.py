@@ -8,12 +8,19 @@ describes one independent simulation run with primitive, picklable fields.
 That makes points safe to ship to worker processes and stable to hash for
 the on-disk result cache.
 
-Seeding: every point carries an explicit seed.  By default all points of a
-scenario share the spec's base seed (the paper fixes ``seed=42`` for every
-configuration, and this keeps the engine's tables identical to the legacy
-serial loops).  Sweeps with ``reseed_per_point=True`` instead derive a
-deterministic per-point seed from the base seed and the point's coordinates
-via :func:`derive_seed`, which is what replicated/perturbed sweeps use.
+Seeding: every point carries an explicit seed.  By default the first
+replicate of every point shares the spec's base seed (the paper fixes
+``seed=42`` for every configuration, and this keeps the engine's tables
+identical to the legacy serial loops).  Sweeps with ``reseed_per_point=True``
+-- and every replicate beyond the first of a ``replicates > 1`` sweep --
+instead derive a deterministic per-point seed from the base seed and the
+point's *full* distinguishing coordinates (scenario, kind, system size,
+strategy/degree, rate, selectivity, OLTP placement, config overrides and
+replicate index) via :func:`derive_seed`.  Deriving from the full coordinate
+tuple rather than the (series label, x) pair matters: two points can share a
+label and an x value while simulating different configurations (e.g. a rate
+or placement axis that the label does not interpolate), and every replicate
+must observe a different arrival stream.
 """
 
 from __future__ import annotations
@@ -38,6 +45,11 @@ SCENARIO_BUILDERS = ("homogeneous", "memory-bound", "join-complexity", "mixed")
 
 #: Axes a sweep may use as its x values.
 X_AXES = ("num_pe", "selectivity_pct", "rate", "degree")
+
+#: Queries per point when a single-user/fixed-degree sweep leaves
+#: ``num_queries`` unset (shared with ``runner.run_point_spec`` for
+#: hand-built points).
+DEFAULT_NUM_QUERIES = {"single": 5, "fixed-degree": 2}
 
 
 def derive_seed(base_seed: int, *components: object) -> int:
@@ -72,6 +84,10 @@ class Sweep:
     num_queries: Optional[int] = None  # single-user / fixed-degree points
     config_overrides: Tuple[Tuple[str, object], ...] = ()
     reseed_per_point: bool = False
+    #: Independent repetitions of every point; replicate 0 keeps the sweep's
+    #: default seeding, replicates 1..n-1 get derived seeds.  Analytic points
+    #: are deterministic and are never replicated.
+    replicates: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -80,6 +96,10 @@ class Sweep:
             raise ValueError(f"unknown scenario builder {self.scenario!r}")
         if self.x_axis not in X_AXES:
             raise ValueError(f"unknown x axis {self.x_axis!r}")
+        if self.num_queries is not None and self.num_queries < 1:
+            raise ValueError(f"num_queries must be >= 1, got {self.num_queries}")
+        if self.replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {self.replicates}")
         if self.kind in ("fixed-degree", "analytic"):
             if not self.degrees:
                 raise ValueError(f"sweep kind {self.kind!r} requires degrees")
@@ -138,6 +158,15 @@ class ScenarioSpec:
             updates["max_simulated_time"] = max_simulated_time
         return replace(self, **updates) if updates else self
 
+    def with_replicates(self, replicates: int) -> "ScenarioSpec":
+        """Copy with every sweep set to ``replicates`` repetitions per point."""
+        if replicates < 1:
+            raise ValueError(f"replicates must be >= 1, got {replicates}")
+        return replace(
+            self,
+            sweeps=tuple(replace(sweep, replicates=replicates) for sweep in self.sweeps),
+        )
+
 
 @dataclass(frozen=True)
 class PointSpec:
@@ -167,6 +196,10 @@ class PointSpec:
     warmup_joins: Optional[int] = None
     max_simulated_time: Optional[float] = None
     config_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Replicate index within the sweep (0 for unreplicated points).  Part of
+    #: the cache key: two replicates are distinct measurements even if a seed
+    #: derivation change ever made their seeds collide.
+    replicate: int = 0
 
     def cache_payload(self) -> Tuple[Tuple[str, object], ...]:
         """The (key, value) pairs that determine this point's result."""
@@ -185,6 +218,7 @@ class PointSpec:
             ("warmup_joins", self.warmup_joins),
             ("max_simulated_time", self.max_simulated_time),
             ("config_overrides", self.config_overrides),
+            ("replicate", self.replicate),
         )
 
 
@@ -192,14 +226,63 @@ def _series_label(sweep: Sweep, **context: object) -> str:
     return sweep.series.format(**context)
 
 
+def _canonical_x(value: float) -> float:
+    """Round an x value to 12 significant digits.
+
+    Derived x values (e.g. ``selectivity * 100.0``) can land one ulp apart
+    for coordinates that are meant to be the same table row; canonicalising
+    at expansion time keeps (series, x) grouping exact.
+    """
+    return float(f"{float(value):.12g}")
+
+
 def _x_value(sweep: Sweep, num_pe: int, selectivity, rate, degree) -> float:
     if sweep.x_axis == "num_pe":
-        return float(num_pe)
-    if sweep.x_axis == "selectivity_pct":
-        return float(selectivity) * 100.0
-    if sweep.x_axis == "rate":
-        return float(rate)
-    return float(degree)
+        raw = float(num_pe)
+    elif sweep.x_axis == "selectivity_pct":
+        raw = float(selectivity) * 100.0
+    elif sweep.x_axis == "rate":
+        raw = float(rate)
+    else:
+        raw = float(degree)
+    return _canonical_x(raw)
+
+
+def _point_seed(
+    spec: ScenarioSpec,
+    sweep: Sweep,
+    *,
+    num_pe: int,
+    strategy: Optional[str],
+    degree: Optional[int],
+    rate: Optional[float],
+    selectivity: Optional[float],
+    placement: Optional[str],
+    replicate: int,
+) -> int:
+    """Seed for one point: base seed, or a collision-free derived seed.
+
+    Replicate 0 of a sweep without ``reseed_per_point`` keeps the spec's base
+    seed -- replicated runs therefore contain the legacy fixed-seed run as
+    their first replicate (and share its cache entry).  Every other point
+    derives from the full distinguishing coordinate tuple, never from the
+    (series label, x) pair, which can be shared by distinct configurations.
+    """
+    if replicate == 0 and not sweep.reseed_per_point:
+        return spec.seed
+    return derive_seed(
+        spec.seed,
+        sweep.kind,
+        sweep.scenario,
+        num_pe,
+        strategy,
+        degree,
+        rate,
+        selectivity,
+        placement,
+        sweep.config_overrides,
+        replicate,
+    )
 
 
 def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
@@ -254,33 +337,54 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                 ),
                                 placement=placement,
                             )
-                            seed = spec.seed
-                            if sweep.reseed_per_point:
-                                seed = derive_seed(spec.seed, label, x)
-                            points.append(
-                                PointSpec(
-                                    figure=spec.name,
-                                    series=label,
-                                    x=x,
-                                    kind=sweep.kind,
-                                    scenario=sweep.scenario,
+                            if sweep.num_queries is not None:
+                                num_queries = sweep.num_queries
+                            else:
+                                num_queries = DEFAULT_NUM_QUERIES.get(sweep.kind, 5)
+                            # Analytic points are deterministic model
+                            # evaluations: replicating them would just repeat
+                            # the identical number.
+                            replicates = 1 if sweep.kind == "analytic" else sweep.replicates
+                            for replicate in range(replicates):
+                                seed = _point_seed(
+                                    spec,
+                                    sweep,
                                     num_pe=num_pe,
-                                    seed=seed,
                                     strategy=strategy,
                                     degree=degree,
                                     rate=rate,
                                     selectivity=selectivity,
-                                    oltp_placement=placement,
-                                    num_queries=(
-                                        None
-                                        if sweep.kind in ("multi", "analytic")
-                                        else sweep.num_queries
-                                        or (2 if sweep.kind == "fixed-degree" else 5)
-                                    ),
-                                    measured_joins=measured if sweep.kind == "multi" else None,
-                                    warmup_joins=warmup if sweep.kind == "multi" else None,
-                                    max_simulated_time=limit if sweep.kind == "multi" else None,
-                                    config_overrides=sweep.config_overrides,
+                                    placement=placement,
+                                    replicate=replicate,
                                 )
-                            )
+                                points.append(
+                                    PointSpec(
+                                        figure=spec.name,
+                                        series=label,
+                                        x=x,
+                                        kind=sweep.kind,
+                                        scenario=sweep.scenario,
+                                        num_pe=num_pe,
+                                        seed=seed,
+                                        strategy=strategy,
+                                        degree=degree,
+                                        rate=rate,
+                                        selectivity=selectivity,
+                                        oltp_placement=placement,
+                                        num_queries=(
+                                            None
+                                            if sweep.kind in ("multi", "analytic")
+                                            else num_queries
+                                        ),
+                                        measured_joins=(
+                                            measured if sweep.kind == "multi" else None
+                                        ),
+                                        warmup_joins=warmup if sweep.kind == "multi" else None,
+                                        max_simulated_time=(
+                                            limit if sweep.kind == "multi" else None
+                                        ),
+                                        config_overrides=sweep.config_overrides,
+                                        replicate=replicate,
+                                    )
+                                )
     return tuple(points)

@@ -6,15 +6,28 @@ and lands in the on-disk result cache, so it round-trips losslessly through
 :meth:`~SimulationResult.to_dict` / :meth:`~SimulationResult.from_dict` /
 :meth:`~SimulationResult.to_json`.  The human-facing rounded view used by
 reports and CSV export lives in :meth:`~SimulationResult.report_dict`.
+
+Replicated sweeps produce several results per (series, x) point;
+:func:`aggregate_results` folds them into an :class:`AggregatedResult`
+carrying the field-wise mean plus sample standard deviation and 95 %
+confidence half-width per metric (Student t critical values, so small
+replicate counts get honest intervals).
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["SimulationResult"]
+__all__ = [
+    "SimulationResult",
+    "AggregatedResult",
+    "aggregate_results",
+    "mean_std_ci95",
+    "t_critical_95",
+]
 
 
 @dataclass
@@ -103,3 +116,119 @@ class SimulationResult:
             f"cpu={self.cpu_utilization:5.2f} disk={self.disk_utilization:5.2f} "
             f"mem={self.memory_utilization:5.2f}"
         )
+
+
+#: Two-sided 95 % Student t critical values by degrees of freedom.
+_T95_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+#: Result fields whose values identify a point rather than measure it; they
+#: must agree across replicates and are copied verbatim into the mean.
+_IDENTITY_FIELDS = ("strategy", "num_pe", "mode")
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student t critical value for ``df`` degrees of freedom.
+
+    Exact table values for df <= 30; beyond that, the value for the largest
+    tabulated df not exceeding ``df``.  Flooring is conservative: the
+    returned critical value is always >= the true one, so intervals never
+    understate the 95 % level.
+    """
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if df in _T95_TABLE:
+        return _T95_TABLE[df]
+    return _T95_TABLE[max(key for key in _T95_TABLE if key <= df)]
+
+
+def mean_std_ci95(values: Sequence[float]) -> Tuple[float, float, float]:
+    """Mean, sample standard deviation and 95 % CI half-width of ``values``.
+
+    A single value has zero spread by definition (std = ci = 0).  Summation
+    uses :func:`math.fsum`, so the result depends only on the order of
+    ``values`` -- replicate results arrive in expansion order regardless of
+    worker count, which keeps aggregates bit-identical across ``--workers``
+    settings.
+    """
+    values = [float(v) for v in values]
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot aggregate an empty sequence of values")
+    mean = math.fsum(values) / n
+    if n == 1:
+        return mean, 0.0, 0.0
+    variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    return mean, std, t_critical_95(n - 1) * std / math.sqrt(n)
+
+
+@dataclass
+class AggregatedResult:
+    """Mean / spread of ``n`` replicate :class:`SimulationResult` records.
+
+    ``mean`` is a field-wise mean result (count fields may therefore be
+    fractional); ``stddev`` and ``ci95`` map metric field names (and
+    ``extras.<key>`` entries) to the sample standard deviation and the 95 %
+    confidence half-width across replicates.
+    """
+
+    n: int
+    mean: SimulationResult
+    stddev: Dict[str, float] = field(default_factory=dict)
+    ci95: Dict[str, float] = field(default_factory=dict)
+
+
+def aggregate_results(results: Iterable[SimulationResult]) -> AggregatedResult:
+    """Fold replicate results for one point into an :class:`AggregatedResult`."""
+    results = list(results)
+    if not results:
+        raise ValueError("cannot aggregate zero results")
+    first = results[0]
+    for name in _IDENTITY_FIELDS:
+        distinct = {getattr(result, name) for result in results}
+        if len(distinct) > 1:
+            raise ValueError(
+                f"cannot aggregate results with differing {name}: "
+                f"{sorted(map(str, distinct))}"
+            )
+    stddev: Dict[str, float] = {}
+    ci95: Dict[str, float] = {}
+    mean_kwargs: Dict[str, float] = {}
+    for spec in fields(SimulationResult):
+        if spec.name in _IDENTITY_FIELDS or spec.name == "extras":
+            continue
+        mean, std, ci = mean_std_ci95([getattr(result, spec.name) for result in results])
+        mean_kwargs[spec.name] = mean
+        stddev[spec.name] = std
+        ci95[spec.name] = ci
+    # Aggregate only extras present in *every* replicate, so every reported
+    # statistic (and the consumer-visible ``n``) covers the same sample; a
+    # key missing from some replicates (e.g. a cache entry written by an
+    # older version) is dropped rather than silently presenting a
+    # partial-sample mean as if it covered all n replicates.
+    extra_keys = [
+        key
+        for key in results[0].extras
+        if all(key in result.extras for result in results)
+    ]
+    mean_extras: Dict[str, float] = {}
+    for key in extra_keys:
+        mean, std, ci = mean_std_ci95([result.extras[key] for result in results])
+        mean_extras[key] = mean
+        stddev[f"extras.{key}"] = std
+        ci95[f"extras.{key}"] = ci
+    mean_result = SimulationResult(
+        strategy=first.strategy,
+        num_pe=first.num_pe,
+        mode=first.mode,
+        extras=mean_extras,
+        **mean_kwargs,
+    )
+    return AggregatedResult(n=len(results), mean=mean_result, stddev=stddev, ci95=ci95)

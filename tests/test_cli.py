@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import csv
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -108,6 +111,61 @@ def test_sweep_config_override_and_selectivity_axis(capsys):
     output = capsys.readouterr().out
     assert "selectivity %" in output
     assert "0.5" in output  # 0.005 -> 0.5 %
+
+
+def test_experiment_replicates_and_csv_export(tmp_path, capsys):
+    out = tmp_path / "fig6.csv"
+    code = main([
+        "experiment", "figure6", "--joins", "5", "--sizes", "10",
+        "--time-limit", "20", "--replicates", "2", "--workers", "2",
+        "--no-cache", "--export", "csv", "--output", str(out),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "mean ± 95% CI" in captured.out
+    assert "[export] wrote" in captured.err
+    with out.open() as handle:
+        rows = list(csv.DictReader(handle))
+    replicate_rows = [r for r in rows if r["row_type"] == "replicate"]
+    aggregate_rows = [r for r in rows if r["row_type"] == "aggregate"]
+    # 5 multi-user strategies + the single-user baseline = 6 series.
+    assert len(replicate_rows) == 12
+    assert len(aggregate_rows) == 6
+    assert {r["replicate"] for r in replicate_rows} == {"0", "1"}
+    assert all(r["n"] == "2" for r in aggregate_rows)
+
+
+def test_export_default_output_name(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main([
+        "experiment", "figure1", "--joins", "10", "--sizes", "1", "8",
+        "--export", "json", "--no-cache",
+    ])
+    assert code == 0
+    rows = json.loads((tmp_path / "figure1.json").read_text())
+    assert rows and all(row["row_type"] == "replicate" for row in rows)
+    assert {row["series"] for row in rows} == {"analytic model", "simulation"}
+
+
+def test_sweep_replicates_render_ci(capsys):
+    code = main([
+        "sweep", "--strategies", "OPT-IO-CPU", "--sizes", "10",
+        "--joins", "5", "--time-limit", "20", "--replicates", "2", "--no-cache",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "±" in output
+
+
+def test_parser_rejects_non_positive_replicates():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "figure6", "--replicates", "0"])
+
+
+def test_output_without_export_is_rejected():
+    with pytest.raises(SystemExit, match="--output requires --export"):
+        main(["experiment", "figure6", "--joins", "5", "--sizes", "10",
+              "--output", "results.csv", "--no-cache"])
 
 
 def test_parser_rejects_unknown_figure():

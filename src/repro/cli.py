@@ -7,14 +7,23 @@ Examples::
     repro-lb simulate --pe 40 --strategy OPT-IO-CPU --joins 50
     repro-lb experiment figure6 --joins 30 --sizes 20 40 80 --workers 4
     repro-lb experiment figure6 --replicates 5 --workers 4 --export csv --output out.csv
+    repro-lb experiment dynamic --sizes 20 --export csv
     repro-lb sweep --strategies MIN-IO OPT-IO-CPU --sizes 20 40 --rates 0.2 0.3
+    repro-lb sweep --arrival mmpp --arrival-param burst_factor=4 --sizes 20 \
+        --strategies OPT-IO-CPU psu_opt+RANDOM --timeline-window 2
+    repro-lb sweep --rates 0.25 --replicates 5 --perturb arrival_rate=0.1
 
 Experiments and sweeps run through the declarative scenario engine
 (:mod:`repro.runner`): points fan out over ``--workers`` processes and
 completed points are cached on disk (``--no-cache`` disables the cache,
 ``REPRO_CACHE_DIR`` relocates it).  ``--replicates N`` repeats every point
-with distinct derived seeds and reports mean ± 95 % CI; ``--export csv|json``
-writes the per-replicate and aggregate rows to a file.
+with distinct derived seeds and reports mean ± 95 % CI; ``--perturb``
+additionally jitters a workload axis per replicate, so the intervals cover
+workload noise.  ``--export csv|json`` writes the per-replicate and
+aggregate rows to a file (plus one row per timeline window for dynamic
+sweeps).  ``--arrival {poisson,deterministic,mmpp,sine,step,trace}`` drives
+the sweep with a (possibly non-stationary) arrival process and records a
+windowed time series per run.
 """
 
 from __future__ import annotations
@@ -33,8 +42,10 @@ from repro.runner import (
     available_scenarios,
     build_scenario,
 )
+from repro.runner.spec import DEFAULT_TIMELINE_WINDOW
 from repro.scheduling.strategy import strategy_names
 from repro.simulation.driver import SimulationDriver
+from repro.workload.arrivals import ARRIVAL_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -141,10 +152,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--oltp", choices=["A", "B"], default=None,
                        help="OLTP placement (implies --scenario mixed)")
     sweep.add_argument("--joins", type=int, default=None, help="measured joins per point")
-    sweep.add_argument("--time-limit", type=float, default=None, help="simulated seconds cap")
+    sweep.add_argument("--time-limit", type=float, default=None,
+                       help="simulated seconds cap (timeline sweeps: the run duration)")
     sweep.add_argument("--set", dest="overrides", action="append", default=[],
                        metavar="PATH=VALUE",
                        help="dotted config override, e.g. --set buffer.buffer_pages=25")
+    sweep.add_argument(
+        "--arrival",
+        choices=ARRIVAL_KINDS,
+        default=None,
+        help=(
+            "arrival process (switches the sweep to windowed timeline points; "
+            "'trace' pre-materialises and replays the Poisson streams)"
+        ),
+    )
+    sweep.add_argument(
+        "--arrival-param", dest="arrival_params", action="append", default=[],
+        metavar="NAME=VALUE",
+        help=(
+            "arrival-process shape parameter, e.g. --arrival-param surge_factor=3 "
+            "(repeatable; see repro.workload.arrivals.make_arrival_process)"
+        ),
+    )
+    sweep.add_argument(
+        "--timeline-window", type=float, default=None, metavar="SECONDS",
+        help=(
+            "window length for the per-run time series (implies timeline points; "
+            f"default {DEFAULT_TIMELINE_WINDOW:g} s when --arrival is given)"
+        ),
+    )
+    sweep.add_argument(
+        "--perturb", dest="perturb", action="append", default=[],
+        metavar="AXIS=FRACTION",
+        help=(
+            "jitter a workload axis per replicate, e.g. --perturb arrival_rate=0.1 "
+            "(axes: arrival_rate, selectivity; needs --replicates >= 2 and "
+            "explicit values on the perturbed axis)"
+        ),
+    )
     _add_runner_arguments(sweep)
     return parser
 
@@ -185,6 +230,12 @@ def _print_spec_result(spec: ScenarioSpec, runner: ParallelRunner,
                        args: argparse.Namespace) -> None:
     if args.output and not args.export:
         raise SystemExit("--output requires --export csv|json")
+    # Expand eagerly: axis/limit validation errors (e.g. a non-positive
+    # timeline duration) should fail here, not as a worker traceback.
+    try:
+        spec.points()
+    except ValueError as exc:
+        raise SystemExit(f"invalid scenario: {exc}") from None
     if not spec.sweeps and spec.static_table is not None:
         print(spec.static_table())
         if args.replicates > 1:
@@ -252,11 +303,25 @@ def _parse_override(text: str) -> tuple:
     return (path, raw)
 
 
+def _parse_float_pair(text: str, flag: str) -> tuple:
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"invalid {flag} {text!r} (expected NAME=VALUE)")
+    try:
+        return (name, float(raw))
+    except ValueError:
+        raise SystemExit(f"invalid {flag} value {raw!r} (expected a number)") from None
+
+
 def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
     scenario = "mixed" if args.oltp else args.scenario
     rates = tuple(args.rates) if args.rates else (None,)
     selectivities = tuple(args.selectivities) if args.selectivities else (None,)
     sizes = tuple(args.sizes)
+    # --arrival / --timeline-window switch the sweep to windowed timeline
+    # points (a fixed-duration run carrying a per-window time series).
+    timeline = args.arrival is not None or args.timeline_window is not None
+    arrival = args.arrival
 
     # Label series by every non-size axis that actually varies.
     series = "{strategy}"
@@ -269,19 +334,36 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         x_axis, series = "selectivity_pct", series.replace(" sel={selectivity:g}", "")
     elif len(sizes) == 1 and len(rates) > 1:
         x_axis, series = "rate", series.replace(" @{rate:g} QPS/PE", "")
+    if arrival is not None:
+        series += " [{arrival}]"
 
-    sweep = Sweep(
-        kind="multi",
-        scenario=scenario,
-        strategies=tuple(args.strategies),
-        system_sizes=sizes,
-        rates=rates,
-        selectivities=selectivities,
-        oltp_placements=(args.oltp,) if args.oltp else (None,),
-        x_axis=x_axis,
-        series=series,
-        config_overrides=tuple(_parse_override(text) for text in args.overrides),
-    )
+    try:
+        sweep = Sweep(
+            kind="timeline" if timeline else "multi",
+            scenario=scenario,
+            strategies=tuple(args.strategies),
+            system_sizes=sizes,
+            rates=rates,
+            selectivities=selectivities,
+            oltp_placements=(args.oltp,) if args.oltp else (None,),
+            x_axis=x_axis,
+            series=series,
+            config_overrides=tuple(_parse_override(text) for text in args.overrides),
+            arrivals=(arrival,),
+            arrival_params=tuple(
+                _parse_float_pair(text, "--arrival-param") for text in args.arrival_params
+            ),
+            timeline_window=args.timeline_window if timeline else None,
+            perturb=tuple(_parse_float_pair(text, "--perturb") for text in args.perturb),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid sweep: {exc}") from None
+    if sweep.perturb and args.replicates < 2:
+        print(
+            "note: --perturb only affects replicates >= 1; "
+            "pass --replicates N to see workload noise",
+            file=sys.stderr,
+        )
     axes = [f"strategies={list(args.strategies)}", f"sizes={list(sizes)}"]
     if args.rates:
         axes.append(f"rates={list(rates)}")
@@ -289,6 +371,10 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         axes.append(f"selectivities={list(selectivities)}")
     if args.oltp:
         axes.append(f"oltp={args.oltp}")
+    if arrival is not None:
+        axes.append(f"arrival={arrival}")
+    from repro.experiments.dynamic import render_timeline_table
+
     return ScenarioSpec(
         name="sweep",
         title=f"Ad-hoc sweep [{scenario}]: " + ", ".join(axes),
@@ -296,6 +382,7 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         sweeps=(sweep,),
         measured_joins=args.joins,
         max_simulated_time=args.time_limit,
+        extra_tables=(render_timeline_table,) if timeline else (),
     )
 
 
@@ -308,14 +395,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
             f"see `repro-lb list-strategies`"
         )
     spec = _build_adhoc_spec(args)
-    # Validate dotted overrides eagerly (a worker process would otherwise
-    # surface the failure as an opaque pool traceback mid-run).
+    # Validate dotted overrides and arrival parameters eagerly (a worker
+    # process would otherwise surface the failure as an opaque pool
+    # traceback mid-run).
     from repro.runner.runner import apply_config_overrides
 
     try:
         apply_config_overrides(SystemConfig(), spec.sweeps[0].config_overrides)
     except (AttributeError, TypeError, ValueError) as exc:
         raise SystemExit(f"invalid --set override: {exc}") from None
+    if args.arrival is not None and args.arrival != "trace":
+        from repro.workload.arrivals import make_arrival_process
+
+        try:
+            make_arrival_process(args.arrival, 1.0, spec.sweeps[0].arrival_params)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --arrival-param: {exc}") from None
+    elif args.arrival == "trace" and args.arrival_params:
+        raise SystemExit(
+            "--arrival-param is not supported with --arrival trace "
+            "(the trace replays the spec's own Poisson streams)"
+        )
     _print_spec_result(spec, _make_runner(args), args)
     return 0
 

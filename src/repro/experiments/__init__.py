@@ -7,7 +7,16 @@ Each figure module declares its sweep as a :class:`repro.runner.ScenarioSpec`
 scenario registry.
 """
 
-from repro.experiments import figure1, figure5, figure6, figure7, figure8, figure9, table_parameters
+from repro.experiments import (
+    dynamic,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table_parameters,
+)
 from repro.experiments.base import (
     PAPER_SYSTEM_SIZES,
     AggregatedExperimentResult,
@@ -29,6 +38,7 @@ from repro.experiments.scenarios import (
 from repro.experiments.table_parameters import render as render_parameter_table
 
 __all__ = [
+    "dynamic",
     "figure1",
     "figure5",
     "figure6",

@@ -3,9 +3,11 @@
 Rows come from :meth:`ExperimentResult.to_rows` (one row per (series, x,
 replicate), ``row_type="replicate"``) optionally followed by the rows of the
 matching :meth:`AggregatedExperimentResult.to_rows` (one per (series, x),
-``row_type="aggregate"`` with ``n`` and spread columns).  The CSV header is
-the union of all row keys in first-appearance order, so replicate and
-aggregate rows share one parseable table.
+``row_type="aggregate"`` with ``n`` and spread columns).  Results that carry
+a windowed timeline additionally contribute one row per window
+(``row_type="window"``, or ``"window_mean"`` for the window-wise replicate
+mean of an aggregated point).  The CSV header is the union of all row keys
+in first-appearance order, so every row kind shares one parseable table.
 """
 
 from __future__ import annotations
@@ -17,19 +19,71 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.base import AggregatedExperimentResult, ExperimentResult
 
-__all__ = ["EXPORT_FORMATS", "collect_rows", "export_rows"]
+__all__ = ["EXPORT_FORMATS", "collect_rows", "export_rows", "timeline_rows"]
 
 EXPORT_FORMATS = ("csv", "json")
+
+
+def _window_row(window, scope: Dict[str, object], row_type: str) -> Dict[str, object]:
+    row: Dict[str, object] = dict(scope)
+    row.update(
+        {
+            "row_type": row_type,
+            "t_start": round(window.start, 6),
+            "t_end": round(window.end, 6),
+            "joins_completed": round(window.joins_completed, 3),
+            "join_throughput_qps": round(window.join_throughput, 3),
+            "join_rt_ms": round(window.join_rt_mean * 1e3, 1),
+            "join_rt_p95_ms": round(window.join_rt_p95 * 1e3, 1),
+            "join_rt_max_ms": round(window.join_rt_max * 1e3, 1),
+            "oltp_completed": round(window.oltp_completed, 3),
+            "oltp_rt_ms": round(window.oltp_rt_mean * 1e3, 1),
+            "cpu_util": round(window.cpu_util, 3),
+            "cpu_util_max": round(window.cpu_util_max, 3),
+            "cpu_imbalance": round(window.cpu_imbalance, 3),
+            "disk_util": round(window.disk_util, 3),
+            "disk_util_max": round(window.disk_util_max, 3),
+            "disk_imbalance": round(window.disk_imbalance, 3),
+            "mem_util": round(window.mem_util, 3),
+            "mem_util_max": round(window.mem_util_max, 3),
+            "mem_imbalance": round(window.mem_imbalance, 3),
+        }
+    )
+    return row
+
+
+def timeline_rows(
+    result: ExperimentResult, row_type: str = "window"
+) -> List[Dict[str, object]]:
+    """One row per timeline window of every point carrying a timeline."""
+    rows: List[Dict[str, object]] = []
+    for point in result.points:
+        timeline = point.result.timeline
+        if timeline is None:
+            continue
+        scope = {
+            "figure": result.figure,
+            "series": point.series,
+            "x": point.x,
+            "replicate": getattr(point, "replicate", 0),
+        }
+        for index, window in enumerate(timeline):
+            row = _window_row(window, scope, row_type)
+            row["window_index"] = index
+            rows.append(row)
+    return rows
 
 
 def collect_rows(
     experiment: ExperimentResult,
     aggregated: Optional[AggregatedExperimentResult] = None,
 ) -> List[Dict[str, object]]:
-    """Per-replicate rows, followed by aggregate rows when provided."""
+    """Per-replicate rows (plus their timeline windows), then aggregates."""
     rows = [dict(row) for row in experiment.to_rows()]
+    rows.extend(timeline_rows(experiment, row_type="window"))
     if aggregated is not None:
         rows.extend(dict(row) for row in aggregated.to_rows())
+        rows.extend(timeline_rows(aggregated, row_type="window_mean"))
     return rows
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.metrics.timeline import TimelineCollector
 from repro.sim import Environment, ValueMonitor
 
 __all__ = ["UtilizationSnapshot", "MetricsCollector"]
@@ -40,6 +41,9 @@ class MetricsCollector:
         self.oltp_completed = 0
         self.measurement_start = 0.0
         self._baseline: Optional[UtilizationSnapshot] = None
+        #: Optional windowed observer (see :mod:`repro.metrics.timeline`);
+        #: when attached, completions are forwarded to the current window.
+        self.timeline: Optional[TimelineCollector] = None
 
     # -- workload observations -------------------------------------------------
     def record_join(self, response_time: float, degree: int, overflow_pages: int,
@@ -49,10 +53,14 @@ class MetricsCollector:
         self.join_degrees.record(float(degree))
         self.join_overflow_pages.record(float(overflow_pages))
         self.join_memory_waits.record(memory_wait)
+        if self.timeline is not None:
+            self.timeline.observe_join(response_time)
 
     def record_oltp(self, response_time: float) -> None:
         self.oltp_completed += 1
         self.oltp_response_times.record(response_time)
+        if self.timeline is not None:
+            self.timeline.observe_oltp(response_time)
 
     # -- warm-up handling ----------------------------------------------------------
     def snapshot(self, pes) -> UtilizationSnapshot:

@@ -1,0 +1,261 @@
+"""Windowed timeline metrics: time-resolved view of one simulation run.
+
+End-of-run aggregates cannot show *when* a strategy saturates or how fast a
+dynamic policy re-balances after a load surge.  The
+:class:`TimelineCollector` bins the measurement phase into fixed windows and
+records, per window:
+
+* join/OLTP completions, join throughput and response-time statistics
+  (mean / p95 / max of the joins *completing* in the window);
+* per-PE CPU utilisation folded into mean, max and imbalance (max - mean);
+* disk utilisation and buffer (memory) occupancy with the same imbalance
+  fold.
+
+The collector is a pure observer: it samples busy-time/occupancy integrals
+at window boundaries and never mutates simulation state, so enabling it
+cannot change a run's outcome.  The result is a :class:`Timeline` -- a
+serialisable time series that rides on
+:class:`~repro.simulation.results.SimulationResult` across process
+boundaries and through the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.sim import Environment
+from repro.sim.monitor import percentile_sorted
+
+__all__ = ["TimelineWindow", "Timeline", "TimelineCollector", "aggregate_timelines"]
+
+
+@dataclass(frozen=True)
+class TimelineWindow:
+    """Metrics of one ``[start, end)`` slice of a run."""
+
+    start: float
+    end: float
+    joins_completed: int = 0
+    join_throughput: float = 0.0  # completions per second in this window
+    join_rt_mean: float = 0.0  # seconds; 0 when no join completed
+    join_rt_p95: float = 0.0
+    join_rt_max: float = 0.0
+    oltp_completed: int = 0
+    oltp_rt_mean: float = 0.0
+    cpu_util: float = 0.0  # mean over PEs
+    cpu_util_max: float = 0.0  # most loaded PE
+    cpu_imbalance: float = 0.0  # max - mean
+    disk_util: float = 0.0
+    disk_util_max: float = 0.0
+    disk_imbalance: float = 0.0
+    mem_util: float = 0.0  # time-weighted buffer occupancy, mean over PEs
+    mem_util_max: float = 0.0
+    mem_imbalance: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """The windowed time series of one run (lossless JSON round-trip)."""
+
+    window: float  # nominal window length in simulated seconds
+    windows: List[TimelineWindow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def series(self, metric: str) -> List[float]:
+        """The values of one window field, in time order."""
+        return [getattr(window, metric) for window in self.windows]
+
+    def peak(self, metric: str) -> float:
+        """Largest value of one window field (0.0 for an empty timeline)."""
+        values = self.series(metric)
+        return max(values) if values else 0.0
+
+    def window_at(self, t: float) -> Optional[TimelineWindow]:
+        """The window covering simulated time ``t`` (None if out of range)."""
+        for window in self.windows:
+            if window.start <= t < window.end:
+                return window
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Timeline":
+        known = {f.name for f in fields(TimelineWindow)}
+        windows = [
+            TimelineWindow(**{k: v for k, v in entry.items() if k in known})
+            for entry in data.get("windows", ())
+        ]
+        return cls(window=float(data["window"]), windows=windows)
+
+
+def _fold(per_pe: Sequence[float]) -> tuple[float, float, float]:
+    """(mean, max, max - mean) of a per-PE utilisation vector."""
+    if not per_pe:
+        return 0.0, 0.0, 0.0
+    mean = math.fsum(per_pe) / len(per_pe)
+    peak = max(per_pe)
+    return mean, peak, peak - mean
+
+
+class _ResourceSnapshot:
+    """Busy-time / occupancy integrals of every PE at one instant."""
+
+    def __init__(self, env: Environment, pes) -> None:
+        self.time = env.now
+        self.cpu_busy = [pe.cpu.resource.busy_time() for pe in pes]
+        self.disk = [pe.disks.snapshot() for pe in pes]  # (time, busy) pairs
+        self.mem_area = [pe.buffer.occupancy.integral() for pe in pes]
+
+
+class TimelineCollector:
+    """Accumulates windowed metrics during a run.
+
+    The driver forwards join/OLTP completions via :meth:`observe_join` /
+    :meth:`observe_oltp` (through the run's
+    :class:`~repro.metrics.collector.MetricsCollector`); a background
+    process closes a window every ``window`` simulated seconds.  Call
+    :meth:`finalize` when the run ends to close the last (possibly partial)
+    window, then :meth:`to_timeline` for the serialisable record.
+    """
+
+    def __init__(self, env: Environment, pes, window: float):
+        if window <= 0:
+            raise ValueError(f"timeline window must be positive, got {window}")
+        self.env = env
+        self.pes = list(pes)
+        self.window = float(window)
+        self.windows: List[TimelineWindow] = []
+        self._join_rts: List[float] = []
+        self._oltp_rts: List[float] = []
+        self._window_start = env.now
+        self._baseline = _ResourceSnapshot(env, self.pes)
+        self._finalized = False
+        self._process = None
+
+    def start(self) -> None:
+        """Start the window-boundary sampling process."""
+        if self._process is None:
+            self._window_start = self.env.now
+            self._baseline = _ResourceSnapshot(self.env, self.pes)
+            self._process = self.env.process(self._tick())
+
+    def _tick(self):
+        while True:
+            yield self.env.timeout(self.window)
+            self._close_window()
+
+    # -- workload observations ------------------------------------------------
+    def observe_join(self, response_time: float) -> None:
+        self._join_rts.append(response_time)
+
+    def observe_oltp(self, response_time: float) -> None:
+        self._oltp_rts.append(response_time)
+
+    # -- window bookkeeping ---------------------------------------------------
+    def _close_window(self) -> None:
+        start = self._window_start
+        end = self.env.now
+        elapsed = end - start
+        if elapsed <= 0:
+            return
+        current = _ResourceSnapshot(self.env, self.pes)
+        baseline = self._baseline
+        capacities = [pe.cpu.resource.capacity for pe in self.pes]
+        cpu = [
+            min(1.0, (c - b) / (elapsed * capacity))
+            for c, b, capacity in zip(current.cpu_busy, baseline.cpu_busy, capacities)
+        ]
+        disk = [
+            pe.disks.utilization_since(snap) for pe, snap in zip(self.pes, baseline.disk)
+        ]
+        mem = [
+            min(1.0, (c - b) / (elapsed * pe.buffer.total_pages))
+            for c, b, pe in zip(current.mem_area, baseline.mem_area, self.pes)
+        ]
+        cpu_mean, cpu_max, cpu_imb = _fold(cpu)
+        disk_mean, disk_max, disk_imb = _fold(disk)
+        mem_mean, mem_max, mem_imb = _fold(mem)
+        rts = sorted(self._join_rts)
+        self.windows.append(
+            TimelineWindow(
+                start=start,
+                end=end,
+                joins_completed=len(rts),
+                join_throughput=len(rts) / elapsed,
+                join_rt_mean=math.fsum(rts) / len(rts) if rts else 0.0,
+                join_rt_p95=percentile_sorted(rts, 95.0),
+                join_rt_max=rts[-1] if rts else 0.0,
+                oltp_completed=len(self._oltp_rts),
+                oltp_rt_mean=(
+                    math.fsum(self._oltp_rts) / len(self._oltp_rts) if self._oltp_rts else 0.0
+                ),
+                cpu_util=cpu_mean,
+                cpu_util_max=cpu_max,
+                cpu_imbalance=cpu_imb,
+                disk_util=disk_mean,
+                disk_util_max=disk_max,
+                disk_imbalance=disk_imb,
+                mem_util=mem_mean,
+                mem_util_max=mem_max,
+                mem_imbalance=mem_imb,
+            )
+        )
+        self._join_rts = []
+        self._oltp_rts = []
+        self._window_start = end
+        self._baseline = current
+
+    def finalize(self) -> None:
+        """Close the in-progress window (no-op when it is empty)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self._close_window()
+
+    def to_timeline(self) -> Timeline:
+        return Timeline(window=self.window, windows=list(self.windows))
+
+
+def aggregate_timelines(timelines: Sequence[Optional[Timeline]]) -> Optional[Timeline]:
+    """Window-wise mean of replicate timelines.
+
+    Returns ``None`` unless every replicate carries a timeline with identical
+    window boundaries (perturbed or trace replicates may legitimately
+    differ); count fields become fractional means, mirroring
+    :func:`repro.simulation.results.aggregate_results`.
+    """
+    materialised = list(timelines)
+    if not materialised or any(t is None for t in materialised):
+        return None
+    first = materialised[0]
+    for other in materialised[1:]:
+        if other.window != first.window or len(other) != len(first):
+            return None
+        for a, b in zip(first.windows, other.windows):
+            if a.start != b.start or a.end != b.end:
+                return None
+    metric_names = [
+        f.name for f in fields(TimelineWindow) if f.name not in ("start", "end")
+    ]
+    windows = []
+    for index, window in enumerate(first.windows):
+        means = {
+            name: math.fsum(getattr(t.windows[index], name) for t in materialised)
+            / len(materialised)
+            for name in metric_names
+        }
+        windows.append(TimelineWindow(start=window.start, end=window.end, **means))
+    return Timeline(window=first.window, windows=windows)

@@ -29,7 +29,10 @@ __all__ = ["ResultCache", "default_cache_dir"]
 
 #: Bump when the result schema or point semantics change: old entries miss.
 #: v2: ``replicate`` joined the point cache payload.
-CACHE_FORMAT_VERSION = 2
+#: v3: arrival process axes + timeline window joined the payload, results
+#: may carry a ``timeline`` time series, and derived replicate seeds now
+#: cover the arrival coordinate.
+CACHE_FORMAT_VERSION = 3
 
 
 def default_cache_dir() -> Path:

@@ -136,15 +136,31 @@ def _analytic_result(config, degree: int, estimate_seconds: float) -> Simulation
     )
 
 
+def build_workload(point: PointSpec, config) -> "WorkloadSpec":
+    """Build the point's workload spec, applying its arrival profile.
+
+    ``arrival_kind="trace"`` keeps the underlying (Poisson) sampling here --
+    the runner materialises the trace separately and replays it.
+    """
+    from repro.workload.generator import WorkloadSpec
+
+    spec = WorkloadSpec.for_config(config)
+    if point.arrival_kind is not None and point.arrival_kind != "trace":
+        spec = spec.with_arrival_profile(point.arrival_kind, point.arrival_params)
+    return spec
+
+
 def run_point_spec(point: PointSpec) -> SimulationResult:
     """Execute one point in-process and return the raw result object."""
     from repro.experiments.base import default_measured_joins, default_time_limit
+    from repro.runner.spec import DEFAULT_TIMELINE_WINDOW
     from repro.scheduling.cost_model import CostModel
     from repro.scheduling.degree import FixedDegree
     from repro.scheduling.placement import RandomPlacement
     from repro.scheduling.strategy import IsolatedStrategy
     from repro.simulation.driver import SimulationDriver
     from repro.workload.query import JoinQuery
+    from repro.workload.traces import generate_trace
 
     config = build_config(point)
     if point.kind == "multi":
@@ -159,7 +175,31 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
         )
         driver = SimulationDriver(config, strategy=point.strategy)
         return driver.run_multi_user(
-            warmup_joins=warmup, measured_joins=measured, max_simulated_time=limit
+            spec=build_workload(point, config) if point.arrival_kind is not None else None,
+            warmup_joins=warmup,
+            measured_joins=measured,
+            max_simulated_time=limit,
+        )
+    if point.kind == "timeline":
+        duration = (
+            point.max_simulated_time
+            if point.max_simulated_time is not None
+            else default_time_limit()
+        )
+        window = (
+            point.timeline_window
+            if point.timeline_window is not None
+            else DEFAULT_TIMELINE_WINDOW
+        )
+        driver = SimulationDriver(config, strategy=point.strategy)
+        spec = build_workload(point, config)
+        # Trace arrivals: materialise the spec's arrival streams up front and
+        # replay them -- with the per-class seeding aligned between
+        # generation and live sampling, this reproduces exactly the arrivals
+        # a live run would have drawn.
+        trace = generate_trace(spec, duration) if point.arrival_kind == "trace" else None
+        return driver.run_timed(
+            duration, timeline_window=window, spec=spec, trace=trace
         )
     if point.kind == "single":
         driver = SimulationDriver(config, strategy=point.strategy)

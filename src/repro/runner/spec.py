@@ -15,8 +15,8 @@ identical to the legacy serial loops).  Sweeps with ``reseed_per_point=True``
 -- and every replicate beyond the first of a ``replicates > 1`` sweep --
 instead derive a deterministic per-point seed from the base seed and the
 point's *full* distinguishing coordinates (scenario, kind, system size,
-strategy/degree, rate, selectivity, OLTP placement, config overrides and
-replicate index) via :func:`derive_seed`.  Deriving from the full coordinate
+strategy/degree, rate, selectivity, OLTP placement, arrival process, config
+overrides and replicate index) via :func:`derive_seed`.  Deriving from the full coordinate
 tuple rather than the (series label, x) pair matters: two points can share a
 label and an x value while simulating different configurations (e.g. a rate
 or placement axis that the label does not interpolate), and every replicate
@@ -26,8 +26,11 @@ must observe a different arrival stream.
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.workload.arrivals import ARRIVAL_KINDS
 
 __all__ = [
     "Sweep",
@@ -37,8 +40,10 @@ __all__ = [
     "expand",
 ]
 
-#: Kinds of point execution understood by the runner.
-POINT_KINDS = ("multi", "single", "fixed-degree", "analytic")
+#: Kinds of point execution understood by the runner.  ``timeline`` runs an
+#: open (possibly non-stationary) workload for a fixed simulated duration and
+#: attaches a windowed time series to the result.
+POINT_KINDS = ("multi", "single", "fixed-degree", "analytic", "timeline")
 
 #: Named configuration builders (see ``repro.runner.runner.build_config``).
 SCENARIO_BUILDERS = ("homogeneous", "memory-bound", "join-complexity", "mixed")
@@ -46,10 +51,17 @@ SCENARIO_BUILDERS = ("homogeneous", "memory-bound", "join-complexity", "mixed")
 #: Axes a sweep may use as its x values.
 X_AXES = ("num_pe", "selectivity_pct", "rate", "degree")
 
+#: Sweep axes that :attr:`Sweep.perturb` may jitter per replicate.
+PERTURBABLE_AXES = ("arrival_rate", "selectivity")
+
 #: Queries per point when a single-user/fixed-degree sweep leaves
 #: ``num_queries`` unset (shared with ``runner.run_point_spec`` for
 #: hand-built points).
 DEFAULT_NUM_QUERIES = {"single": 5, "fixed-degree": 2}
+
+#: Window length (simulated seconds) when a timeline sweep leaves
+#: ``timeline_window`` unset.
+DEFAULT_TIMELINE_WINDOW = 1.0
 
 
 def derive_seed(base_seed: int, *components: object) -> int:
@@ -88,6 +100,23 @@ class Sweep:
     #: default seeding, replicates 1..n-1 get derived seeds.  Analytic points
     #: are deterministic and are never replicated.
     replicates: int = 1
+    #: Arrival-process axis (``multi``/``timeline`` kinds): each entry is one
+    #: of :data:`~repro.workload.arrivals.ARRIVAL_KINDS` or ``None`` for the
+    #: scenario default (stationary Poisson).
+    arrivals: Tuple[Optional[str], ...] = (None,)
+    #: Shape parameters shared by every non-None arrival axis entry, e.g.
+    #: ``(("surge_factor", 3.0), ("surge_start", 20.0))``.
+    arrival_params: Tuple[Tuple[str, float], ...] = ()
+    #: Window length (simulated seconds) for timeline points; ``None`` uses
+    #: :data:`DEFAULT_TIMELINE_WINDOW`.
+    timeline_window: Optional[float] = None
+    #: Per-replicate workload jitter: ``(("arrival_rate", 0.1),)`` multiplies
+    #: the rate axis of replicates >= 1 by a factor drawn uniformly from
+    #: ``[1 - 0.1, 1 + 0.1]`` (derived-seed rng, so jitter is deterministic
+    #: and collision-free).  Replicate 0 stays unperturbed, and the nominal
+    #: axis value keeps labelling the (series, x) group, so confidence
+    #: intervals then reflect workload noise on top of seed noise.
+    perturb: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -113,6 +142,51 @@ class Sweep:
             raise ValueError("x_axis='selectivity_pct' requires explicit selectivities")
         if self.x_axis == "degree" and not self.degrees:
             raise ValueError("x_axis='degree' requires degrees")
+        for kind in self.arrivals:
+            if kind is not None and kind not in ARRIVAL_KINDS:
+                raise ValueError(
+                    f"unknown arrival kind {kind!r}; expected one of {ARRIVAL_KINDS}"
+                )
+        if any(kind is not None for kind in self.arrivals) and self.kind not in (
+            "multi",
+            "timeline",
+        ):
+            raise ValueError(
+                f"arrival processes only apply to multi/timeline sweeps, not {self.kind!r}"
+            )
+        if "trace" in self.arrivals and self.kind != "timeline":
+            # Only the timeline execution branch materialises and replays a
+            # trace; accepting it elsewhere would silently run plain Poisson
+            # arrivals under a "[trace]" label.
+            raise ValueError("arrival kind 'trace' requires a timeline sweep")
+        if self.arrival_params and all(kind is None for kind in self.arrivals):
+            raise ValueError(
+                "arrival_params given but no arrival process set; they would "
+                "be silently dropped (add an arrivals axis entry)"
+            )
+        if self.timeline_window is not None:
+            if self.kind != "timeline":
+                raise ValueError("timeline_window only applies to timeline sweeps")
+            if self.timeline_window <= 0:
+                raise ValueError(
+                    f"timeline_window must be positive, got {self.timeline_window}"
+                )
+        for axis, fraction in self.perturb:
+            if axis not in PERTURBABLE_AXES:
+                raise ValueError(
+                    f"unknown perturb axis {axis!r}; expected one of {PERTURBABLE_AXES}"
+                )
+            if not 0.0 < float(fraction) < 1.0:
+                raise ValueError(f"perturb fraction must be in (0, 1), got {fraction}")
+            if axis == "arrival_rate" and any(rate is None for rate in self.rates):
+                raise ValueError(
+                    "perturb='arrival_rate' requires explicit rates "
+                    "(the scenario default rate cannot be jittered)"
+                )
+            if axis == "selectivity" and any(s is None for s in self.selectivities):
+                raise ValueError(
+                    "perturb='selectivity' requires explicit selectivities"
+                )
 
 
 @dataclass(frozen=True)
@@ -200,6 +274,12 @@ class PointSpec:
     #: the cache key: two replicates are distinct measurements even if a seed
     #: derivation change ever made their seeds collide.
     replicate: int = 0
+    #: Arrival process of the point's workload classes (``None`` = the
+    #: scenario default, stationary Poisson) plus its shape parameters.
+    arrival_kind: Optional[str] = None
+    arrival_params: Tuple[Tuple[str, float], ...] = ()
+    #: Window length for timeline points (``None`` for other kinds).
+    timeline_window: Optional[float] = None
 
     def cache_payload(self) -> Tuple[Tuple[str, object], ...]:
         """The (key, value) pairs that determine this point's result."""
@@ -219,6 +299,9 @@ class PointSpec:
             ("max_simulated_time", self.max_simulated_time),
             ("config_overrides", self.config_overrides),
             ("replicate", self.replicate),
+            ("arrival_kind", self.arrival_kind),
+            ("arrival_params", self.arrival_params),
+            ("timeline_window", self.timeline_window),
         )
 
 
@@ -258,6 +341,7 @@ def _point_seed(
     rate: Optional[float],
     selectivity: Optional[float],
     placement: Optional[str],
+    arrival: Optional[str],
     replicate: int,
 ) -> int:
     """Seed for one point: base seed, or a collision-free derived seed.
@@ -280,24 +364,62 @@ def _point_seed(
         rate,
         selectivity,
         placement,
+        arrival,
         sweep.config_overrides,
         replicate,
     )
+
+
+def _perturbed_axes(
+    spec: ScenarioSpec,
+    sweep: Sweep,
+    *,
+    rate: Optional[float],
+    selectivity: Optional[float],
+    replicate: int,
+    coordinates: Tuple[object, ...],
+) -> Tuple[Optional[float], Optional[float]]:
+    """Jittered (rate, selectivity) for one replicate of one point.
+
+    Replicate 0 keeps the nominal axes (so a perturbed sweep still embeds the
+    unperturbed run); replicates >= 1 multiply each perturbed axis by a
+    factor drawn uniformly from ``[1 - fraction, 1 + fraction]`` using a rng
+    seeded from the point's full coordinates -- deterministic across
+    processes and distinct per replicate.
+    """
+    if replicate == 0 or not sweep.perturb:
+        return rate, selectivity
+    rng = random.Random(derive_seed(spec.seed, "perturb", *coordinates, replicate))
+    # Fixed draw order (sorted axis names) keeps the jitter independent of
+    # the declaration order of ``perturb``.
+    for axis, fraction in sorted(sweep.perturb):
+        factor = rng.uniform(1.0 - float(fraction), 1.0 + float(fraction))
+        if axis == "arrival_rate":
+            rate = float(rate) * factor  # type: ignore[arg-type]
+        else:
+            selectivity = float(selectivity) * factor  # type: ignore[arg-type]
+    return rate, selectivity
 
 
 def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
     """Expand a scenario into its flat, ordered tuple of points.
 
     Axis nesting (outer to inner): system size, selectivity, rate, OLTP
-    placement, then strategy/degree -- matching the iteration order of the
-    legacy hand-written figure loops, so series appear in the same order in
-    the rendered tables.
+    placement, arrival process, then strategy/degree -- matching the
+    iteration order of the legacy hand-written figure loops, so series
+    appear in the same order in the rendered tables.
 
     Run limits left as ``None`` on the spec are resolved *here* (against the
     ``REPRO_BENCH_JOINS``/``REPRO_BENCH_TIME_LIMIT`` environment defaults),
     not in the worker, so the resolved values are part of every point and of
     its cache key -- runs under different environment settings never collide
-    on one cache entry.
+    on one cache entry.  For timeline sweeps the resolved time limit is the
+    run *duration* (timeline points have no completion target).
+
+    Per-replicate perturbation (``Sweep.perturb``) jitters the rate /
+    selectivity stored on the point while the series label and x keep the
+    nominal values, so all replicates of a coordinate still group into one
+    table cell.
     """
     from repro.experiments.base import default_measured_joins, default_time_limit
 
@@ -306,85 +428,140 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
     limit = (
         spec.max_simulated_time if spec.max_simulated_time is not None else default_time_limit()
     )
+    if limit <= 0 and any(sweep.kind == "timeline" for sweep in spec.sweeps):
+        # Timeline points run for exactly ``limit`` seconds; failing here
+        # beats a PointExecutionError from inside a worker process.
+        raise ValueError(
+            f"timeline sweeps need a positive run duration, got "
+            f"max_simulated_time={limit}"
+        )
     points: List[PointSpec] = []
     for sweep in spec.sweeps:
         inner: Sequence[object] = (
             sweep.degrees if sweep.kind in ("fixed-degree", "analytic") else sweep.strategies
         )
+        window = (
+            (
+                sweep.timeline_window
+                if sweep.timeline_window is not None
+                else DEFAULT_TIMELINE_WINDOW
+            )
+            if sweep.kind == "timeline"
+            else None
+        )
         for num_pe in sweep.system_sizes:
             for selectivity in sweep.selectivities:
                 for rate in sweep.rates:
                     for placement in sweep.oltp_placements:
-                        for member in inner:
-                            strategy = None
-                            degree = None
-                            if sweep.kind in ("fixed-degree", "analytic"):
-                                degree = int(member)  # type: ignore[arg-type]
-                                if degree > num_pe:
-                                    continue
-                            else:
-                                strategy = str(member)
-                            x = _x_value(sweep, num_pe, selectivity, rate, degree)
-                            label = _series_label(
-                                sweep,
-                                strategy=strategy,
-                                degree=degree,
-                                num_pe=num_pe,
-                                rate=rate,
-                                selectivity=selectivity,
-                                selectivity_pct=(
-                                    selectivity * 100.0 if selectivity is not None else None
-                                ),
-                                placement=placement,
-                            )
-                            if sweep.num_queries is not None:
-                                num_queries = sweep.num_queries
-                            else:
-                                num_queries = DEFAULT_NUM_QUERIES.get(sweep.kind, 5)
-                            # Analytic points are deterministic model
-                            # evaluations: replicating them would just repeat
-                            # the identical number.
-                            replicates = 1 if sweep.kind == "analytic" else sweep.replicates
-                            for replicate in range(replicates):
-                                seed = _point_seed(
-                                    spec,
+                        for arrival in sweep.arrivals:
+                            for member in inner:
+                                strategy = None
+                                degree = None
+                                if sweep.kind in ("fixed-degree", "analytic"):
+                                    degree = int(member)  # type: ignore[arg-type]
+                                    if degree > num_pe:
+                                        continue
+                                else:
+                                    strategy = str(member)
+                                x = _x_value(sweep, num_pe, selectivity, rate, degree)
+                                label = _series_label(
                                     sweep,
-                                    num_pe=num_pe,
                                     strategy=strategy,
                                     degree=degree,
+                                    num_pe=num_pe,
                                     rate=rate,
                                     selectivity=selectivity,
+                                    selectivity_pct=(
+                                        selectivity * 100.0
+                                        if selectivity is not None
+                                        else None
+                                    ),
                                     placement=placement,
-                                    replicate=replicate,
+                                    arrival=arrival,
                                 )
-                                points.append(
-                                    PointSpec(
-                                        figure=spec.name,
-                                        series=label,
-                                        x=x,
-                                        kind=sweep.kind,
-                                        scenario=sweep.scenario,
+                                if sweep.num_queries is not None:
+                                    num_queries = sweep.num_queries
+                                else:
+                                    num_queries = DEFAULT_NUM_QUERIES.get(sweep.kind, 5)
+                                # Analytic points are deterministic model
+                                # evaluations: replicating them would just
+                                # repeat the identical number.
+                                replicates = (
+                                    1 if sweep.kind == "analytic" else sweep.replicates
+                                )
+                                for replicate in range(replicates):
+                                    coordinates = (
+                                        sweep.kind,
+                                        sweep.scenario,
+                                        num_pe,
+                                        strategy,
+                                        degree,
+                                        rate,
+                                        selectivity,
+                                        placement,
+                                        arrival,
+                                        sweep.config_overrides,
+                                    )
+                                    seed = _point_seed(
+                                        spec,
+                                        sweep,
                                         num_pe=num_pe,
-                                        seed=seed,
                                         strategy=strategy,
                                         degree=degree,
                                         rate=rate,
                                         selectivity=selectivity,
-                                        oltp_placement=placement,
-                                        num_queries=(
-                                            None
-                                            if sweep.kind in ("multi", "analytic")
-                                            else num_queries
-                                        ),
-                                        measured_joins=(
-                                            measured if sweep.kind == "multi" else None
-                                        ),
-                                        warmup_joins=warmup if sweep.kind == "multi" else None,
-                                        max_simulated_time=(
-                                            limit if sweep.kind == "multi" else None
-                                        ),
-                                        config_overrides=sweep.config_overrides,
+                                        placement=placement,
+                                        arrival=arrival,
                                         replicate=replicate,
                                     )
-                                )
+                                    point_rate, point_selectivity = _perturbed_axes(
+                                        spec,
+                                        sweep,
+                                        rate=rate,
+                                        selectivity=selectivity,
+                                        replicate=replicate,
+                                        coordinates=coordinates,
+                                    )
+                                    points.append(
+                                        PointSpec(
+                                            figure=spec.name,
+                                            series=label,
+                                            x=x,
+                                            kind=sweep.kind,
+                                            scenario=sweep.scenario,
+                                            num_pe=num_pe,
+                                            seed=seed,
+                                            strategy=strategy,
+                                            degree=degree,
+                                            rate=point_rate,
+                                            selectivity=point_selectivity,
+                                            oltp_placement=placement,
+                                            num_queries=(
+                                                None
+                                                if sweep.kind
+                                                in ("multi", "analytic", "timeline")
+                                                else num_queries
+                                            ),
+                                            measured_joins=(
+                                                measured if sweep.kind == "multi" else None
+                                            ),
+                                            warmup_joins=(
+                                                warmup if sweep.kind == "multi" else None
+                                            ),
+                                            max_simulated_time=(
+                                                limit
+                                                if sweep.kind in ("multi", "timeline")
+                                                else None
+                                            ),
+                                            config_overrides=sweep.config_overrides,
+                                            replicate=replicate,
+                                            arrival_kind=arrival,
+                                            arrival_params=(
+                                                sweep.arrival_params
+                                                if arrival is not None
+                                                else ()
+                                            ),
+                                            timeline_window=window,
+                                        )
+                                    )
     return tuple(points)

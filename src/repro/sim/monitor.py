@@ -15,7 +15,26 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
-__all__ = ["ValueMonitor", "TimeWeightedMonitor"]
+__all__ = ["ValueMonitor", "TimeWeightedMonitor", "percentile_sorted"]
+
+
+def percentile_sorted(data: List[float], q: float) -> float:
+    """q-th percentile (0..100) of pre-sorted ``data``, linear interpolation.
+
+    Shared by :meth:`ValueMonitor.percentile` and the windowed timeline
+    collector; returns 0.0 for an empty sequence.
+    """
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return data[low]
+    frac = rank - low
+    return data[low] * (1 - frac) + data[high] * frac
 
 
 class ValueMonitor:
@@ -73,20 +92,9 @@ class ValueMonitor:
 
     def percentile(self, q: float) -> float:
         """q-th percentile (0..100) using linear interpolation."""
-        if not self.samples:
-            return 0.0
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        data = sorted(self.samples)
-        if len(data) == 1:
-            return data[0]
-        rank = (q / 100.0) * (len(data) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return data[low]
-        frac = rank - low
-        return data[low] * (1 - frac) + data[high] * frac
+        return percentile_sorted(sorted(self.samples), q)
 
     def confidence_interval(self, level: float = 0.95) -> float:
         """Half-width of the normal-approximation confidence interval."""
@@ -142,6 +150,15 @@ class TimeWeightedMonitor:
             return self._value
         area = self._area + self._value * (now - self._last_time)
         return area / elapsed
+
+    def integral(self) -> float:
+        """Accumulated signal-time area since the last reset.
+
+        Differencing two integrals gives the exact time-weighted mean over a
+        window without resetting the monitor (the windowed timeline collector
+        must not disturb the run-level averages).
+        """
+        return self._area + self._value * (self.env.now - self._last_time)
 
     @property
     def maximum(self) -> float:

@@ -9,6 +9,11 @@ Two modes of operation mirror the paper's experiments:
 * **single-user mode** -- exactly one join query in the system at a time
   (closed loop), which is the baseline the paper plots alongside the
   multi-user curves.
+* **timed mode** -- an open arrival stream (optionally non-stationary or
+  replayed from a trace) run for a fixed simulated duration with a windowed
+  :class:`~repro.metrics.timeline.TimelineCollector`, so the result carries
+  a time-resolved view of throughput, response times and per-PE load
+  imbalance (the measurement mode the dynamic-workload scenarios use).
 """
 
 from __future__ import annotations
@@ -17,11 +22,13 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.config.parameters import SystemConfig
+from repro.metrics.timeline import TimelineCollector
 from repro.scheduling.strategy import LoadBalancingStrategy
 from repro.simulation.results import SimulationResult
 from repro.simulation.system import ParallelSystem
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 from repro.workload.query import JoinQuery
+from repro.workload.traces import Trace, TraceReplayer
 
 __all__ = ["SimulationDriver"]
 
@@ -56,11 +63,7 @@ class SimulationDriver:
     ) -> SimulationResult:
         """Run an open multi-user workload and summarise the measurement phase."""
         if spec is None:
-            spec = (
-                WorkloadSpec.mixed_join_oltp(self.config)
-                if self.config.oltp is not None
-                else WorkloadSpec.homogeneous_join(self.config)
-            )
+            spec = WorkloadSpec.for_config(self.config)
         generator = WorkloadGenerator(self.env, spec, self.system.submit)
         self.system.start()
         generator.start()
@@ -80,6 +83,43 @@ class SimulationDriver:
     def _advance_until(self, predicate, limits: _RunLimits) -> None:
         while not predicate() and self.env.now < limits.max_simulated_time:
             self.env.run(until=min(self.env.now + limits.step, limits.max_simulated_time))
+
+    # -- timed (timeline) ----------------------------------------------------------
+    def run_timed(
+        self,
+        duration: float,
+        timeline_window: float = 1.0,
+        spec: Optional[WorkloadSpec] = None,
+        trace: Optional[Trace] = None,
+    ) -> SimulationResult:
+        """Run an open workload for exactly ``duration`` simulated seconds.
+
+        Unlike :meth:`run_multi_user` there is no warm-up and no completion
+        target: measurement starts at time zero and every ``timeline_window``
+        seconds a :class:`~repro.metrics.timeline.TimelineCollector` closes a
+        window, so the returned result carries the full time series of the
+        run (``result.timeline``).  With ``trace`` set, arrivals are replayed
+        from the trace instead of being sampled live (the spec still
+        provides the transaction factories).
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if spec is None:
+            spec = WorkloadSpec.for_config(self.config)
+        self.system.start()
+        if trace is not None:
+            TraceReplayer(self.env, spec, trace, self.system.submit).start()
+        else:
+            WorkloadGenerator(self.env, spec, self.system.submit).start()
+        self.system.metrics.start_measurement(self.system.pes)
+        collector = TimelineCollector(self.env, self.system.pes, timeline_window)
+        self.system.metrics.timeline = collector
+        collector.start()
+        self.env.run(until=duration)
+        collector.finalize()
+        result = self._summarise(mode="timed")
+        result.timeline = collector.to_timeline()
+        return result
 
     # -- single-user ----------------------------------------------------------------------
     def run_single_user(self, num_queries: int = 10) -> SimulationResult:

@@ -21,6 +21,8 @@ import math
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from repro.metrics.timeline import Timeline, aggregate_timelines
+
 __all__ = [
     "SimulationResult",
     "AggregatedResult",
@@ -52,6 +54,10 @@ class SimulationResult:
     oltp_response_time: float = 0.0
     join_throughput: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Windowed time series of the run (timeline-kind points only).  Rides
+    #: through to_dict/from_dict/the cache losslessly; ``None`` for runs
+    #: without a timeline collector.
+    timeline: Optional[Timeline] = None
 
     @property
     def join_response_time_ms(self) -> float:
@@ -71,6 +77,9 @@ class SimulationResult:
         """
         known = {f.name for f in fields(cls)}
         kwargs = {key: value for key, value in data.items() if key in known}
+        timeline = kwargs.get("timeline")
+        if timeline is not None and not isinstance(timeline, Timeline):
+            kwargs["timeline"] = Timeline.from_dict(timeline)
         result = cls(**kwargs)
         result.extras = dict(result.extras)
         return result
@@ -202,7 +211,7 @@ def aggregate_results(results: Iterable[SimulationResult]) -> AggregatedResult:
     ci95: Dict[str, float] = {}
     mean_kwargs: Dict[str, float] = {}
     for spec in fields(SimulationResult):
-        if spec.name in _IDENTITY_FIELDS or spec.name == "extras":
+        if spec.name in _IDENTITY_FIELDS or spec.name in ("extras", "timeline"):
             continue
         mean, std, ci = mean_std_ci95([getattr(result, spec.name) for result in results])
         mean_kwargs[spec.name] = mean
@@ -229,6 +238,9 @@ def aggregate_results(results: Iterable[SimulationResult]) -> AggregatedResult:
         num_pe=first.num_pe,
         mode=first.mode,
         extras=mean_extras,
+        # Window-wise mean when every replicate shares the same window grid;
+        # None otherwise (the spread dictionaries stay scalar either way).
+        timeline=aggregate_timelines([result.timeline for result in results]),
         **mean_kwargs,
     )
     return AggregatedResult(n=len(results), mean=mean_result, stddev=stddev, ci95=ci95)

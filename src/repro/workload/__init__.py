@@ -1,5 +1,16 @@
 """Workload model: query classes, arrival generation, routing, OLTP, traces."""
 
+from repro.workload.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DeterministicArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    SinusoidalArrivals,
+    StepArrivals,
+    TraceArrivals,
+    make_arrival_process,
+)
 from repro.workload.generator import (
     WorkloadClass,
     WorkloadGenerator,
@@ -18,6 +29,15 @@ from repro.workload.tpcb import OltpCostProfile, build_cost_profile
 from repro.workload.traces import Trace, TraceRecord, TraceReplayer, generate_trace
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "SinusoidalArrivals",
+    "StepArrivals",
+    "TraceArrivals",
+    "make_arrival_process",
     "WorkloadClass",
     "WorkloadGenerator",
     "WorkloadSpec",

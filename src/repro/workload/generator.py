@@ -4,17 +4,22 @@ The simulation system is an open queuing model: every transaction and query
 type has its own arrival process (paper §4).  Arrival processes are Poisson
 (exponential inter-arrival times) by default; deterministic arrivals are
 available for tests and for single-user experiments where exactly one query
-is in the system at a time.
+is in the system at a time.  Non-stationary profiles (bursty MMPP,
+sinusoidal, load surges, trace replay) plug in through
+:mod:`repro.workload.arrivals`: any :class:`WorkloadClass` can carry an
+:class:`~repro.workload.arrivals.ArrivalProcess` that modulates its rate
+over simulated time.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config.parameters import JoinQueryConfig, OltpConfig, SystemConfig
 from repro.sim import Environment
+from repro.workload.arrivals import ArrivalProcess, make_arrival_process
 from repro.workload.query import JoinQuery, OltpTransaction, Transaction
 
 __all__ = ["ArrivalProcess", "WorkloadClass", "WorkloadSpec", "WorkloadGenerator"]
@@ -27,18 +32,34 @@ Submitter = Callable[[Transaction], None]
 
 @dataclass
 class WorkloadClass:
-    """One transaction/query class with its own arrival stream."""
+    """One transaction/query class with its own arrival stream.
+
+    ``arrival_rate`` is the class's (mean) rate in arrivals per second over
+    the whole system.  By default arrivals are Poisson at that rate
+    (``deterministic=True`` switches to fixed inter-arrival times); setting
+    ``arrival`` to an :class:`~repro.workload.arrivals.ArrivalProcess`
+    instead samples a possibly non-stationary process -- ``arrival_rate``
+    then documents the profile's long-run mean.
+    """
 
     name: str
     factory: TransactionFactory
     arrival_rate: float  # arrivals per second over the whole system
     deterministic: bool = False  # exponential (False) or fixed inter-arrival
+    arrival: Optional[ArrivalProcess] = None  # non-stationary rate profile
 
-    def interarrival(self, rng: random.Random) -> float:
+    def interarrival(self, rng: random.Random, now: float = 0.0) -> float:
+        if self.arrival is not None:
+            return self.arrival.interarrival(now, rng)
         if self.arrival_rate <= 0:
             return float("inf")
         mean = 1.0 / self.arrival_rate
         return mean if self.deterministic else rng.expovariate(self.arrival_rate)
+
+    def begin_stream(self) -> None:
+        """Reset any modulating arrival-process state before a sampling pass."""
+        if self.arrival is not None:
+            self.arrival.reset()
 
 
 @dataclass
@@ -51,6 +72,36 @@ class WorkloadSpec:
     def add(self, workload_class: WorkloadClass) -> "WorkloadSpec":
         self.classes.append(workload_class)
         return self
+
+    def with_arrival_profile(
+        self,
+        kind: str,
+        params: Optional[Mapping[str, float] | Sequence[Tuple[str, float]]] = None,
+    ) -> "WorkloadSpec":
+        """Copy of this spec with every class carrying an arrival profile.
+
+        Each class keeps its own mean rate; the profile (``mmpp``, ``sine``,
+        ``step``, ...) modulates that rate over time.  ``kind="poisson"``
+        normalises to the default sampler, so a profiled spec with
+        ``poisson`` draws streams bit-identical to the unprofiled spec.
+        """
+        if kind == "poisson" and not params:
+            classes = [replace(cls, arrival=None) for cls in self.classes]
+        else:
+            classes = [
+                replace(cls, arrival=make_arrival_process(kind, cls.arrival_rate, params))
+                for cls in self.classes
+            ]
+        return WorkloadSpec(classes=classes, seed=self.seed)
+
+    @classmethod
+    def for_config(cls, config: SystemConfig) -> "WorkloadSpec":
+        """The default workload of a configuration: joins, plus OLTP if set."""
+        return (
+            cls.mixed_join_oltp(config)
+            if config.oltp is not None
+            else cls.homogeneous_join(config)
+        )
 
     @classmethod
     def homogeneous_join(
@@ -132,11 +183,15 @@ class WorkloadGenerator:
             self._processes.append(self.env.process(self._arrivals(workload_class, rng)))
 
     def _arrivals(self, workload_class: WorkloadClass, rng: random.Random):
-        if workload_class.arrival_rate <= 0:
+        if workload_class.arrival_rate <= 0 and workload_class.arrival is None:
             return
             yield  # pragma: no cover - makes this a generator
+        workload_class.begin_stream()
         while True:
-            yield self.env.timeout(workload_class.interarrival(rng))
+            delay = workload_class.interarrival(rng, self.env.now)
+            if delay == float("inf"):
+                return  # exhausted (e.g. a finite trace) or rate dropped to 0
+            yield self.env.timeout(delay)
             transaction = workload_class.factory()
             transaction.arrival_time = self.env.now
             self.generated[workload_class.name] += 1

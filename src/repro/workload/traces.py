@@ -53,15 +53,27 @@ class Trace:
 
 
 def generate_trace(spec: WorkloadSpec, duration: float, seed: int | None = None) -> Trace:
-    """Sample a trace of ``duration`` simulated seconds from a workload spec."""
-    rng = random.Random(spec.seed if seed is None else seed)
+    """Sample a trace of ``duration`` simulated seconds from a workload spec.
+
+    Each class draws from its own rng stream, seeded exactly like the live
+    :class:`~repro.workload.generator.WorkloadGenerator` (``seed * 1009 +
+    class index``), so a generated trace replays bit-identically to live
+    sampling of the same spec.  (Earlier versions drew all classes from one
+    shared rng, which made traces diverge from the generator's arrivals.)
+    """
+    base_seed = spec.seed if seed is None else seed
     records: List[TraceRecord] = []
-    for workload_class in spec.classes:
-        if workload_class.arrival_rate <= 0:
+    for index, workload_class in enumerate(spec.classes):
+        if workload_class.arrival_rate <= 0 and workload_class.arrival is None:
             continue
+        rng = random.Random(base_seed * 1009 + index)
+        workload_class.begin_stream()
         clock = 0.0
         while True:
-            clock += workload_class.interarrival(rng)
+            delta = workload_class.interarrival(rng, clock)
+            if delta == float("inf"):
+                break
+            clock += delta
             if clock > duration:
                 break
             records.append(TraceRecord(arrival_time=clock, class_name=workload_class.name))
@@ -92,6 +104,9 @@ class TraceReplayer:
             if factory is None:
                 raise KeyError(f"trace references unknown class {record.class_name!r}")
             transaction: Transaction = factory()
-            transaction.arrival_time = self.env.now
+            # Stamp the declared trace time (the env clock can sit one ulp
+            # off after the relative timeout), so response-time accounting
+            # matches the trace exactly.
+            transaction.arrival_time = record.arrival_time
             self.replayed += 1
             self.submit(transaction)

@@ -183,3 +183,115 @@ def test_parser_rejects_bad_override():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# -- dynamic workloads / timeline sweeps ------------------------------------------
+def test_sweep_arrival_renders_timeline_table(capsys):
+    code = main([
+        "sweep", "--arrival", "step", "--arrival-param", "surge_factor=2",
+        "--arrival-param", "surge_start=4", "--arrival-param", "surge_end=8",
+        "--strategies", "OPT-IO-CPU", "--sizes", "4",
+        "--time-limit", "10", "--timeline-window", "2", "--no-cache",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "[step]" in output
+    assert "per window" in output
+    assert "[   0.0,   2.0)" in output
+
+
+def test_sweep_arrival_exports_window_rows(tmp_path, capsys):
+    out = tmp_path / "dyn.csv"
+    # Bursty profile with a non-zero off rate and short cycle, so the run
+    # actually completes joins inside 8 s (zero-arrival output would make
+    # the row checks below vacuous).
+    code = main([
+        "sweep", "--arrival", "mmpp", "--arrival-param", "burst_factor=1.5",
+        "--arrival-param", "on_fraction=0.5", "--arrival-param", "cycle=4",
+        "--strategies", "OPT-IO-CPU", "--rates", "0.5",
+        "--sizes", "8", "--time-limit", "8", "--timeline-window", "2",
+        "--no-cache", "--export", "csv", "--output", str(out),
+    ])
+    assert code == 0
+    with out.open() as handle:
+        rows = list(csv.DictReader(handle))
+    window_rows = [r for r in rows if r["row_type"] == "window"]
+    assert len(window_rows) == 4
+    assert all(r["t_end"] for r in window_rows)
+    assert [r["window_index"] for r in window_rows] == ["0", "1", "2", "3"]
+    assert sum(float(r["joins_completed"]) for r in window_rows) > 0
+
+
+def test_experiment_dynamic_tiny(capsys):
+    code = main([
+        "experiment", "dynamic", "--sizes", "4", "--time-limit", "10",
+        "--no-cache", "--workers", "2",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Dynamic workload" in output
+    assert "join_rt_mean per window" in output
+    assert "psu_noIO+RANDOM" in output
+
+
+def test_sweep_perturb_replicates(capsys):
+    code = main([
+        "sweep", "--strategies", "OPT-IO-CPU", "--sizes", "4",
+        "--rates", "0.25", "--joins", "5", "--time-limit", "10",
+        "--replicates", "2", "--perturb", "arrival_rate=0.1", "--no-cache",
+    ])
+    assert code == 0
+    assert "mean ± 95% CI" in capsys.readouterr().out
+
+
+def test_sweep_perturb_without_rates_is_rejected():
+    with pytest.raises(SystemExit, match="invalid sweep"):
+        main([
+            "sweep", "--strategies", "OPT-IO-CPU", "--sizes", "4",
+            "--replicates", "2", "--perturb", "arrival_rate=0.1", "--no-cache",
+        ])
+
+
+def test_sweep_bad_arrival_param_is_rejected():
+    with pytest.raises(SystemExit, match="expected a number"):
+        main([
+            "sweep", "--arrival", "step", "--arrival-param", "surge_factor=big",
+            "--sizes", "4", "--no-cache",
+        ])
+
+
+def test_parser_rejects_unknown_arrival():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--arrival", "weibull"])
+
+
+def test_sweep_unknown_arrival_param_is_rejected_eagerly():
+    with pytest.raises(SystemExit, match="invalid --arrival-param"):
+        main([
+            "sweep", "--arrival", "step", "--arrival-param", "surge=3",
+            "--sizes", "4", "--no-cache",
+        ])
+
+
+def test_sweep_arrival_param_requires_arrival():
+    with pytest.raises(SystemExit, match="invalid sweep: arrival_params"):
+        main([
+            "sweep", "--arrival-param", "surge_factor=3", "--sizes", "4", "--no-cache",
+        ])
+
+
+def test_sweep_trace_rejects_arrival_params():
+    with pytest.raises(SystemExit, match="not supported with --arrival trace"):
+        main([
+            "sweep", "--arrival", "trace", "--arrival-param", "surge_factor=3",
+            "--sizes", "4", "--no-cache",
+        ])
+
+
+def test_sweep_non_positive_timeline_duration_is_rejected():
+    with pytest.raises(SystemExit, match="positive run duration"):
+        main([
+            "sweep", "--arrival", "step", "--strategies", "OPT-IO-CPU",
+            "--sizes", "4", "--time-limit", "0", "--no-cache",
+        ])

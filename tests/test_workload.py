@@ -219,3 +219,43 @@ def test_trace_length_close_to_expectation(rate, duration):
     # Floating-point accumulation may shift the last arrival across the
     # duration boundary, so allow an off-by-one.
     assert abs(len(trace) - int(rate * duration)) <= 1
+
+
+# -- router coverage (PR 3) -------------------------------------------------------
+def test_affinity_router_is_deterministic_per_seed():
+    def routes(seed):
+        router = AffinityRouter(oltp_pe_ids=[0, 1], all_pe_ids=list(range(8)), seed=seed)
+        return [router.route(JoinQuery()) for _ in range(20)] + [
+            router.route(OltpTransaction()) for _ in range(20)
+        ]
+
+    assert routes(5) == routes(5)
+    assert routes(5) != routes(6)
+
+
+def test_affinity_router_requires_oltp_pes():
+    with pytest.raises(ValueError):
+        AffinityRouter(oltp_pe_ids=[], all_pe_ids=[0, 1])
+
+
+def test_round_robin_router_requires_pes():
+    with pytest.raises(ValueError):
+        RoundRobinRouter([])
+
+
+def test_routers_stamp_coordinator_pe():
+    query = JoinQuery()
+    RandomRouter([3], seed=0).route(query)
+    assert query.coordinator_pe == 3
+    query2 = JoinQuery()
+    RoundRobinRouter([7]).route(query2)
+    assert query2.coordinator_pe == 7
+    txn = OltpTransaction(home_pe=1)
+    AffinityRouter(oltp_pe_ids=[0, 1], all_pe_ids=[0, 1, 2]).route(txn)
+    assert txn.coordinator_pe == 1
+
+
+def test_affinity_router_fallback_covers_all_pes():
+    router = AffinityRouter(oltp_pe_ids=[0], all_pe_ids=list(range(4)), seed=2)
+    seen = {router.route(JoinQuery()) for _ in range(300)}
+    assert seen == {0, 1, 2, 3}

@@ -12,7 +12,6 @@ from dataclasses import replace
 
 from conftest import bench_joins, bench_time_limit, write_report
 
-from repro.config import SystemConfig
 from repro.experiments.scenarios import homogeneous_config
 from repro.scheduling import (
     DynamicCpuDegree,

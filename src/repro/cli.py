@@ -24,6 +24,19 @@ aggregate rows to a file (plus one row per timeline window for dynamic
 sweeps).  ``--arrival {poisson,deterministic,mmpp,sine,step,trace}`` drives
 the sweep with a (possibly non-stationary) arrival process and records a
 windowed time series per run.
+
+Distributed sweeps shard a scenario's points across worker processes (on
+one host or many, through a shared directory)::
+
+    repro-lb dispatch figure5 --queue-dir /mnt/queue --replicates 5
+    repro-lb worker --queue-dir /mnt/queue          # on each host
+    repro-lb status --queue-dir /mnt/queue
+    repro-lb experiment figure5 --replicates 5 \
+        --distributed --queue-dir /mnt/queue --export csv
+
+``experiment``/``sweep`` with ``--distributed --queue-dir`` enqueue any
+missing points, wait for workers to drain the queue and fold the results in
+expansion order -- output is byte-identical to a local ``--workers N`` run.
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ from typing import Optional, Sequence
 
 from repro.config.parameters import OltpConfig, SystemConfig
 from repro.experiments import render_parameter_table
+from repro.experiments.base import make_runner
 from repro.runner import (
     ParallelRunner,
     ResultCache,
@@ -42,6 +56,7 @@ from repro.runner import (
     available_scenarios,
     build_scenario,
 )
+from repro.runner.queue import DEFAULT_LEASE_SECONDS
 from repro.runner.spec import DEFAULT_TIMELINE_WINDOW
 from repro.scheduling.strategy import strategy_names
 from repro.simulation.driver import SimulationDriver
@@ -100,6 +115,38 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--output",
         default=None,
         help="export destination (default: <figure>.<format> in the working directory)",
+    )
+    parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "run through a shared work queue instead of a local process pool "
+            "(requires --queue-dir; points are executed by `repro-lb worker` "
+            "processes draining that directory)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="work-queue directory for --distributed (implies --distributed)",
+    )
+    parser.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting for workers after this long (default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_replicate_count,
+        default=None,
+        metavar="N",
+        help=(
+            "distributed only: attempts per newly enqueued task before it is "
+            "marked failed (default 3; match the value used at dispatch time)"
+        ),
     )
 
 
@@ -191,12 +238,69 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_runner_arguments(sweep)
+
+    dispatch = sub.add_parser(
+        "dispatch",
+        help="shard a scenario into durable work-queue tasks (no execution)",
+    )
+    dispatch.add_argument("figure", choices=available_scenarios(),
+                          help="registered scenario to shard")
+    dispatch.add_argument("--queue-dir", required=True, metavar="DIR",
+                          help="work-queue directory (shared across worker hosts)")
+    dispatch.add_argument("--joins", type=int, default=None, help="measured joins per point")
+    dispatch.add_argument("--sizes", type=int, nargs="*", default=None, help="system sizes")
+    dispatch.add_argument("--time-limit", type=float, default=None,
+                          help="simulated seconds cap")
+    dispatch.add_argument("--replicates", type=_replicate_count, default=1,
+                          help="independent runs per point (distinct derived seeds)")
+    dispatch.add_argument("--max-retries", type=_replicate_count, default=3,
+                          metavar="N", help="attempts per task before it is marked failed")
+
+    worker = sub.add_parser(
+        "worker",
+        help="claim and execute work-queue tasks until the queue drains",
+    )
+    worker.add_argument("--queue-dir", required=True, metavar="DIR",
+                        help="work-queue directory to drain")
+    worker.add_argument("--max-tasks", type=_replicate_count, default=None, metavar="N",
+                        help="exit after claiming at most N tasks (default: drain)")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="sleep between claim attempts when nothing is claimable")
+    worker.add_argument("--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+                        metavar="SECONDS",
+                        help="lease/heartbeat timeout (default %(default)g; must "
+                             "match the other participants of this queue)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker name for leases/logs (default: host-pid)")
+
+    status = sub.add_parser("status", help="summarise a work queue's task states")
+    status.add_argument("--queue-dir", required=True, metavar="DIR",
+                        help="work-queue directory to inspect")
+    status.add_argument("--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+                        metavar="SECONDS",
+                        help="lease timeout used to classify running vs stale leases")
+    status.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of the text summary")
     return parser
 
 
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    if args.queue_dir is None and args.distributed:
+        raise SystemExit("--distributed requires --queue-dir DIR")
+    if args.queue_dir is not None:
+        if args.no_cache or args.cache_dir:
+            print(
+                "note: distributed runs keep results in the queue's own store; "
+                "--no-cache/--cache-dir are ignored",
+                file=sys.stderr,
+            )
+        return make_runner(
+            queue_dir=args.queue_dir,
+            queue_timeout=args.queue_timeout,
+            max_attempts=args.max_retries,
+        )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return ParallelRunner(workers=args.workers, cache=cache)
+    return make_runner(workers=args.workers, cache=cache)
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -245,7 +349,10 @@ def _print_spec_result(spec: ScenarioSpec, runner: ParallelRunner,
         return
     if args.replicates > 1:
         spec = spec.with_replicates(args.replicates)
-    experiment = runner.run(spec)
+    try:
+        experiment = runner.run(spec)
+    except TimeoutError as exc:
+        raise SystemExit(f"distributed run timed out: {exc}") from None
     aggregated = experiment.aggregate() if experiment.has_replicates else None
     rendered = aggregated if aggregated is not None else experiment
     print(rendered.table())
@@ -266,7 +373,12 @@ def _print_spec_result(spec: ScenarioSpec, runner: ParallelRunner,
         )
 
 
-def _run_experiment(args: argparse.Namespace) -> int:
+def _experiment_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Build a registered scenario's spec from experiment/dispatch axes.
+
+    ``dispatch`` and ``experiment --distributed`` must expand identical
+    point sets for the same axes, so both go through this one builder.
+    """
     kwargs = {}
     if args.figure == "figure1":
         # Fig. 1 is a single-user sweep over the degree of parallelism.
@@ -286,8 +398,73 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 print("note: --sizes is ignored for figure8 (fixed 60 PE)", file=sys.stderr)
             else:
                 kwargs["system_sizes"] = args.sizes
-    spec = build_scenario(args.figure, **kwargs)
+    return build_scenario(args.figure, **kwargs)
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    spec = _experiment_spec(args)
     _print_spec_result(spec, _make_runner(args), args)
+    return 0
+
+
+def _run_dispatch(args: argparse.Namespace) -> int:
+    from repro.runner import DistributedRunner
+
+    spec = _experiment_spec(args)
+    if args.replicates > 1:
+        spec = spec.with_replicates(args.replicates)
+    try:
+        points = spec.points()
+    except ValueError as exc:
+        raise SystemExit(f"invalid scenario: {exc}") from None
+    if not points:
+        print(f"scenario {spec.name!r} has no simulation points to dispatch")
+        return 0
+    runner = DistributedRunner(args.queue_dir, max_attempts=args.max_retries)
+    summary = runner.dispatch(points)
+    print(
+        f"queue {runner.queue.root}: {summary.enqueued} task(s) enqueued, "
+        f"{summary.already_queued} already queued, {summary.already_done} already done "
+        f"({len(points)} point(s), {summary.total} unique task(s))"
+    )
+    print(f"drain with: repro-lb worker --queue-dir {args.queue_dir}", file=sys.stderr)
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.runner import Worker, WorkQueue
+
+    def terminate(signum, frame):
+        # Raise through the worker loop so the current lease is released
+        # (without consuming a retry) before the process exits.
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, terminate)
+    queue = WorkQueue(args.queue_dir, lease_seconds=args.lease)
+    worker = Worker(queue, worker_id=args.worker_id, poll_interval=args.poll)
+    print(f"worker {worker.worker_id}: draining {queue.root}", file=sys.stderr)
+    stats = worker.run(max_tasks=args.max_tasks)
+    print(
+        f"worker {worker.worker_id}: {stats.executed} executed, "
+        f"{stats.satisfied} satisfied from the result store, {stats.failed} failed"
+    )
+    return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.runner import WorkQueue
+
+    queue = WorkQueue(args.queue_dir, lease_seconds=args.lease)
+    status = queue.status()
+    if args.json:
+        print(json_module.dumps(status.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"queue {queue.root}")
+        print(status.render())
     return 0
 
 
@@ -311,6 +488,36 @@ def _parse_float_pair(text: str, flag: str) -> tuple:
         return (name, float(raw))
     except ValueError:
         raise SystemExit(f"invalid {flag} value {raw!r} (expected a number)") from None
+
+
+def _parse_arrival_param(text: str) -> tuple:
+    """An arrival-process shape parameter; ``file=PATH`` keeps its string."""
+    name, _, raw = text.partition("=")
+    if name == "file" and raw:
+        return (name, raw)
+    return _parse_float_pair(text, "--arrival-param")
+
+
+def _with_trace_digest(params: tuple) -> tuple:
+    """Pin a trace file's *content* digest into the arrival parameters.
+
+    The digest becomes part of the point -- and therefore of the cache key
+    and the distributed task id -- so editing the captured log can neither
+    hit a stale cache entry nor diverge silently between worker hosts (the
+    executing side re-hashes the file and refuses a mismatch).
+    """
+    import hashlib
+    from pathlib import Path
+
+    mapping = dict(params)
+    path = mapping.get("file")
+    if path is None or "file_sha256" in mapping:
+        return params
+    try:
+        digest = hashlib.sha256(Path(path).read_bytes()).hexdigest()
+    except OSError as exc:
+        raise SystemExit(f"invalid --arrival-param file: {exc}") from None
+    return params + (("file_sha256", digest),)
 
 
 def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
@@ -337,6 +544,9 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
     if arrival is not None:
         series += " [{arrival}]"
 
+    arrival_params = tuple(_parse_arrival_param(text) for text in args.arrival_params)
+    if arrival == "trace":
+        arrival_params = _with_trace_digest(arrival_params)
     try:
         sweep = Sweep(
             kind="timeline" if timeline else "multi",
@@ -350,9 +560,7 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
             series=series,
             config_overrides=tuple(_parse_override(text) for text in args.overrides),
             arrivals=(arrival,),
-            arrival_params=tuple(
-                _parse_float_pair(text, "--arrival-param") for text in args.arrival_params
-            ),
+            arrival_params=arrival_params,
             timeline_window=args.timeline_window if timeline else None,
             perturb=tuple(_parse_float_pair(text, "--perturb") for text in args.perturb),
         )
@@ -392,7 +600,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if unknown:
         raise SystemExit(
             f"unknown strategy {', '.join(map(repr, unknown))}; "
-            f"see `repro-lb list-strategies`"
+            "see `repro-lb list-strategies`"
         )
     spec = _build_adhoc_spec(args)
     # Validate dotted overrides and arrival parameters eagerly (a worker
@@ -411,11 +619,23 @@ def _run_sweep(args: argparse.Namespace) -> int:
             make_arrival_process(args.arrival, 1.0, spec.sweeps[0].arrival_params)
         except ValueError as exc:
             raise SystemExit(f"invalid --arrival-param: {exc}") from None
-    elif args.arrival == "trace" and args.arrival_params:
-        raise SystemExit(
-            "--arrival-param is not supported with --arrival trace "
-            "(the trace replays the spec's own Poisson streams)"
-        )
+    elif args.arrival == "trace":
+        params = dict(spec.sweeps[0].arrival_params)
+        trace_file = params.pop("file", None)
+        params.pop("file_sha256", None)
+        if params:
+            raise SystemExit(
+                "--arrival trace supports only the file=PATH parameter, "
+                f"got {sorted(params)} (without a file, the trace replays "
+                "the spec's own Poisson streams)"
+            )
+        if trace_file is not None:
+            from repro.workload.traces import load_trace
+
+            try:
+                load_trace(trace_file)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"invalid --arrival-param file: {exc}") from None
     _print_spec_result(spec, _make_runner(args), args)
     return 0
 
@@ -436,6 +656,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "dispatch":
+        return _run_dispatch(args)
+    if args.command == "worker":
+        return _run_worker(args)
+    if args.command == "status":
+        return _run_status(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

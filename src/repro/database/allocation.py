@@ -9,8 +9,7 @@ PE's disks.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.config.parameters import RelationConfig, SystemConfig
 from repro.database.index import BTreeIndex

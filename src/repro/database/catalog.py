@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 from repro.config.parameters import SystemConfig
 from repro.database.allocation import allocate_paper_database

@@ -21,7 +21,7 @@ strategies, so this module implements:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
 from repro.sim import Environment, Event, TimeWeightedMonitor

@@ -8,7 +8,7 @@ youngest transaction of each cycle.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.sim import Environment
 

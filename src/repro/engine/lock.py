@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, Set
 
 from repro.sim import Environment, Event
 

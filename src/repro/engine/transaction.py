@@ -8,7 +8,7 @@ transactions wait in an input queue when the limit is reached (paper §4).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.sim import Environment, Resource, TimeWeightedMonitor
 from repro.workload.query import Transaction

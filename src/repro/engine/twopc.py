@@ -13,7 +13,7 @@ decision record).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 from repro.config.parameters import InstructionCosts
 from repro.hardware.cpu import PRIORITY_QUERY

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
-from repro.config.parameters import InstructionCosts, SystemConfig
+from repro.config.parameters import InstructionCosts
 from repro.database.relation import Fragment, Relation
 from repro.hardware.cpu import PRIORITY_QUERY
 from repro.hardware.network import Network

@@ -16,9 +16,8 @@ runs the distributed commit with the read-only optimisation.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Generator, List
 
 from repro.config.parameters import InstructionCosts
 from repro.database.allocation import split_evenly

@@ -15,7 +15,7 @@ otherwise it waits in the buffer manager's FCFS memory queue (paper §4).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.config.parameters import InstructionCosts

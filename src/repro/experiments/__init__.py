@@ -45,6 +45,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "table_parameters",
     "PAPER_SYSTEM_SIZES",
     "AggregatedExperimentResult",
     "AggregatedPoint",

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.config.parameters import SystemConfig
 from repro.simulation.driver import SimulationDriver
@@ -31,6 +31,7 @@ __all__ = [
     "AggregatedExperimentResult",
     "default_measured_joins",
     "default_time_limit",
+    "make_runner",
     "run_point",
     "run_single_user_point",
     "format_table",
@@ -312,6 +313,35 @@ def format_table(result: ExperimentResult, metric, unit: str, ci_metric=None) ->
         footer = f"(values in {unit}; mean ± 95% CI across replicates)"
     lines.append(footer)
     return "\n".join(lines)
+
+
+def make_runner(
+    workers: Optional[int] = 1,
+    cache: Optional["ResultCache"] = None,
+    queue_dir: Optional[Union[str, "os.PathLike"]] = None,
+    queue_timeout: Optional[float] = None,
+    max_attempts: Optional[int] = None,
+):
+    """Select the execution driver for a scenario spec.
+
+    Without ``queue_dir`` this is a local :class:`~repro.runner.ParallelRunner`
+    over ``workers`` processes.  With ``queue_dir`` it is a
+    :class:`~repro.runner.DistributedRunner` coordinating independent
+    ``repro-lb worker`` processes through the shared queue directory (the
+    queue's own result store replaces ``cache``; ``workers`` is ignored).
+    Either driver folds results in expansion order, so the choice never
+    changes tables, aggregates or exports.
+    """
+    if queue_dir is None:
+        from repro.runner import ParallelRunner
+
+        return ParallelRunner(workers=workers, cache=cache)
+    from repro.runner import DistributedRunner
+
+    kwargs = {"timeout": queue_timeout}
+    if max_attempts is not None:
+        kwargs["max_attempts"] = max_attempts
+    return DistributedRunner(queue_dir, **kwargs)
 
 
 def run_point(

@@ -12,7 +12,7 @@ priority values first.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.config.parameters import CpuConfig, InstructionCosts
 from repro.sim import Environment, PriorityResource

@@ -13,7 +13,6 @@ I/Os, controller service and disk busy time.
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict
 from typing import Generator, List, Optional, Tuple
 

@@ -16,7 +16,6 @@ paper treats the network as non-bottleneck.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.config.parameters import InstructionCosts, NetworkConfig

@@ -8,8 +8,8 @@ the post-warm-up interval only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.metrics.timeline import TimelineCollector
 from repro.sim import Environment, ValueMonitor

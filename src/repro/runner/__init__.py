@@ -13,31 +13,58 @@ The experiment layer is split into three pieces:
   spec into independent points and fans them out over a
   ``ProcessPoolExecutor`` (serial fallback for ``workers=1``), with an
   optional on-disk :class:`~repro.runner.cache.ResultCache`.
+* :mod:`repro.runner.queue` / :mod:`repro.runner.worker` /
+  :mod:`repro.runner.distributed` -- the multi-host layer: a
+  filesystem-backed :class:`~repro.runner.queue.WorkQueue` of durable point
+  tasks, the :class:`~repro.runner.worker.Worker` daemon that claims and
+  executes them, and the :class:`~repro.runner.distributed.DistributedRunner`
+  coordinator that enqueues a spec and folds the results in expansion order.
 """
 
 from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.distributed import DistributedRunner
+from repro.runner.queue import WorkQueue
 from repro.runner.registry import (
     available_scenarios,
     build_scenario,
     get_scenario,
     register_scenario,
 )
-from repro.runner.runner import ParallelRunner, PointExecutionError, execute_point
-from repro.runner.spec import PointSpec, ScenarioSpec, Sweep, derive_seed, expand
+from repro.runner.runner import (
+    ParallelRunner,
+    PointExecutionError,
+    execute_point,
+    execute_point_checked,
+)
+from repro.runner.spec import (
+    PointSpec,
+    ScenarioSpec,
+    Sweep,
+    derive_seed,
+    expand,
+    point_from_payload,
+)
+from repro.runner.worker import Worker, WorkerStats
 
 __all__ = [
+    "DistributedRunner",
     "ParallelRunner",
     "PointExecutionError",
     "PointSpec",
     "ResultCache",
     "ScenarioSpec",
     "Sweep",
+    "WorkQueue",
+    "Worker",
+    "WorkerStats",
     "available_scenarios",
     "build_scenario",
     "default_cache_dir",
     "derive_seed",
     "execute_point",
+    "execute_point_checked",
     "expand",
     "get_scenario",
+    "point_from_payload",
     "register_scenario",
 ]

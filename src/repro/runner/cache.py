@@ -19,13 +19,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.runner.spec import PointSpec
 from repro.simulation.results import SimulationResult
 
-__all__ = ["ResultCache", "default_cache_dir"]
+__all__ = ["ResultCache", "default_cache_dir", "write_json_atomic"]
 
 #: Bump when the result schema or point semantics change: old entries miss.
 #: v2: ``replicate`` joined the point cache payload.
@@ -33,6 +34,20 @@ __all__ = ["ResultCache", "default_cache_dir"]
 #: may carry a ``timeline`` time series, and derived replicate seeds now
 #: cover the arrival coordinate.
 CACHE_FORMAT_VERSION = 3
+
+
+def write_json_atomic(path: Path, payload: dict) -> None:
+    """Write JSON via a unique temp file + atomic rename.
+
+    The temp name embeds pid *and* a uuid: the pid alone collides for
+    concurrent threads of one process (and for pid-recycling across hosts
+    on a shared mount).  The final rename is atomic, so concurrent writers
+    of one path can never interleave partial content; readers either see
+    the old complete file or the new complete file.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
 
 
 def default_cache_dir() -> Path:
@@ -83,9 +98,7 @@ class ResultCache:
             "x": point.x,
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        write_json_atomic(path, payload)
         return path
 
     def __len__(self) -> int:

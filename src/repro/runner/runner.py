@@ -27,6 +27,7 @@ __all__ = [
     "ParallelRunner",
     "PointExecutionError",
     "execute_point",
+    "execute_point_checked",
     "build_config",
     "apply_config_overrides",
 ]
@@ -160,7 +161,7 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
     from repro.scheduling.strategy import IsolatedStrategy
     from repro.simulation.driver import SimulationDriver
     from repro.workload.query import JoinQuery
-    from repro.workload.traces import generate_trace
+    from repro.workload.traces import generate_trace, parse_trace
 
     config = build_config(point)
     if point.kind == "multi":
@@ -193,11 +194,50 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
         )
         driver = SimulationDriver(config, strategy=point.strategy)
         spec = build_workload(point, config)
-        # Trace arrivals: materialise the spec's arrival streams up front and
-        # replay them -- with the per-class seeding aligned between
-        # generation and live sampling, this reproduces exactly the arrivals
-        # a live run would have drawn.
-        trace = generate_trace(spec, duration) if point.arrival_kind == "trace" else None
+        # Trace arrivals: replay a captured log (``file`` parameter), or
+        # materialise the spec's own arrival streams up front -- with the
+        # per-class seeding aligned between generation and live sampling,
+        # the latter reproduces exactly the arrivals a live run would have
+        # drawn.
+        trace = None
+        if point.arrival_kind == "trace":
+            import hashlib
+            from pathlib import Path
+
+            params = dict(point.arrival_params)
+            trace_file = params.pop("file", None)
+            expected_digest = params.pop("file_sha256", None)
+            if params:
+                raise ValueError(
+                    "unknown parameter(s) for arrival kind 'trace': "
+                    f"{sorted(params)} (only 'file' is supported)"
+                )
+            if trace_file is None:
+                if expected_digest is not None:
+                    raise ValueError("file_sha256 given without a trace file")
+                trace = generate_trace(spec, duration)
+            else:
+                # The digest pins the file *content* into the point (and
+                # therefore into the cache key / distributed task id): an
+                # edited trace can neither hit a stale cache entry nor
+                # diverge silently across worker hosts.  One read serves
+                # both the digest check and the parse.
+                path = Path(trace_file)
+                raw = path.read_bytes()
+                if expected_digest is not None:
+                    actual = hashlib.sha256(raw).hexdigest()
+                    if actual != str(expected_digest):
+                        raise ValueError(
+                            f"trace file {trace_file} does not match the "
+                            f"content digest it was dispatched with "
+                            f"(sha256 {actual[:12]}... != "
+                            f"{str(expected_digest)[:12]}...)"
+                        )
+                trace = parse_trace(
+                    raw.decode("utf-8"),
+                    source=str(path),
+                    fmt="json" if path.suffix.lower() == ".json" else None,
+                )
         return driver.run_timed(
             duration, timeline_window=window, spec=spec, trace=trace
         )
@@ -235,6 +275,21 @@ def execute_point(payload: Union[PointSpec, Mapping[str, object]]) -> Dict[str, 
     """Worker entry point: run one point and return a picklable result dict."""
     point = payload if isinstance(payload, PointSpec) else PointSpec(**dict(payload))
     return run_point_spec(point).to_dict()
+
+
+def execute_point_checked(point: PointSpec) -> Dict[str, object]:
+    """Run one point, wrapping any failure in :class:`PointExecutionError`.
+
+    Shared by the serial path of :meth:`ParallelRunner.run_points` and the
+    distributed queue worker (:mod:`repro.runner.worker`), so every driver
+    reports a failing point the same way.  The result round-trips through
+    ``to_dict`` exactly like the process-pool path, keeping serial, pooled
+    and distributed execution bit-identical.
+    """
+    try:
+        return execute_point(asdict(point))
+    except Exception as exc:
+        raise PointExecutionError(point, exc) from exc
 
 
 class ParallelRunner:
@@ -303,11 +358,7 @@ class ParallelRunner:
         if pending:
             if self.workers <= 1 or len(pending) == 1:
                 for index in pending:
-                    try:
-                        data = execute_point(asdict(points[index]))
-                    except Exception as exc:
-                        raise PointExecutionError(points[index], exc) from exc
-                    complete(index, data)
+                    complete(index, execute_point_checked(points[index]))
             else:
                 max_workers = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=max_workers) as pool:

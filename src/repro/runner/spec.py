@@ -38,6 +38,7 @@ __all__ = [
     "PointSpec",
     "derive_seed",
     "expand",
+    "point_from_payload",
 ]
 
 #: Kinds of point execution understood by the runner.  ``timeline`` runs an
@@ -305,6 +306,24 @@ class PointSpec:
         )
 
 
+def point_from_payload(payload) -> PointSpec:
+    """Rebuild a :class:`PointSpec` from a JSON-decoded ``asdict`` payload.
+
+    JSON round-trips turn the tuple-valued fields (``config_overrides``,
+    ``arrival_params``) into lists; normalising them back keeps rebuilt
+    points equal to the originals (and hashable by the result cache with
+    byte-identical keys).
+    """
+    data = dict(payload)
+    data["config_overrides"] = tuple(
+        (str(path), value) for path, value in (data.get("config_overrides") or ())
+    )
+    data["arrival_params"] = tuple(
+        (str(name), value) for name, value in (data.get("arrival_params") or ())
+    )
+    return PointSpec(**data)
+
+
 def _series_label(sweep: Sweep, **context: object) -> str:
     return sweep.series.format(**context)
 
@@ -432,7 +451,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
         # Timeline points run for exactly ``limit`` seconds; failing here
         # beats a PointExecutionError from inside a worker process.
         raise ValueError(
-            f"timeline sweeps need a positive run duration, got "
+            "timeline sweeps need a positive run duration, got "
             f"max_simulated_time={limit}"
         )
     points: List[PointSpec] = []

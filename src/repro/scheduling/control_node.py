@@ -18,7 +18,7 @@ Two details from the paper matter for correctness of the policies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.config.parameters import ControlConfig
 from repro.sim import Environment

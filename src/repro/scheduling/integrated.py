@@ -16,9 +16,9 @@ in whether the CPU utilisation is taken into account:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.scheduling.control_node import ControlNode, NodeStatus
+from repro.scheduling.control_node import NodeStatus
 from repro.scheduling.strategy import JoinPlan, LoadBalancingStrategy, SchedulingContext
 from repro.workload.query import JoinQuery
 

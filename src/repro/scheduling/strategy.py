@@ -17,7 +17,7 @@ experiments and the CLI can select strategies by name.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.scheduling.control_node import ControlNode
@@ -25,7 +25,6 @@ from repro.scheduling.cost_model import CostModel
 from repro.scheduling.degree import (
     DegreePolicy,
     DynamicCpuDegree,
-    FixedDegree,
     StaticNoIODegree,
     StaticSuOptDegree,
 )

@@ -10,7 +10,7 @@ transaction processing paths for join queries and OLTP transactions.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 from repro.config.parameters import SystemConfig
 from repro.database.catalog import Catalog

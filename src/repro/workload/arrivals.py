@@ -361,7 +361,7 @@ def make_arrival_process(
             raise ValueError(f"on_fraction must be in (0, 1), got {on_fraction}")
         if burst_factor * on_fraction > 1.0:
             raise ValueError(
-                f"burst_factor*on_fraction must be <= 1 to keep the off rate "
+                "burst_factor*on_fraction must be <= 1 to keep the off rate "
                 f"non-negative, got {burst_factor * on_fraction:g}"
             )
         on_rate = arrival_rate * burst_factor

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.config.parameters import JoinQueryConfig, OltpConfig, SystemConfig
+from repro.config.parameters import SystemConfig
 from repro.sim import Environment
 from repro.workload.arrivals import ArrivalProcess, make_arrival_process
 from repro.workload.query import JoinQuery, OltpTransaction, Transaction

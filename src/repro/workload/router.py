@@ -9,7 +9,7 @@ run locally on the nodes owning their data (§5.3, [25]).
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from repro.workload.query import OltpTransaction, Transaction
 

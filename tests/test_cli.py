@@ -281,10 +281,19 @@ def test_sweep_arrival_param_requires_arrival():
         ])
 
 
-def test_sweep_trace_rejects_arrival_params():
-    with pytest.raises(SystemExit, match="not supported with --arrival trace"):
+def test_sweep_trace_rejects_non_file_arrival_params():
+    with pytest.raises(SystemExit, match="only the file=PATH parameter"):
         main([
             "sweep", "--arrival", "trace", "--arrival-param", "surge_factor=3",
+            "--sizes", "4", "--no-cache",
+        ])
+
+
+def test_sweep_trace_rejects_missing_file_eagerly(tmp_path):
+    with pytest.raises(SystemExit, match="invalid --arrival-param file"):
+        main([
+            "sweep", "--arrival", "trace",
+            "--arrival-param", f"file={tmp_path / 'missing.csv'}",
             "--sizes", "4", "--no-cache",
         ])
 
@@ -295,3 +304,53 @@ def test_sweep_non_positive_timeline_duration_is_rejected():
             "sweep", "--arrival", "step", "--strategies", "OPT-IO-CPU",
             "--sizes", "4", "--time-limit", "0", "--no-cache",
         ])
+
+
+# -- distributed sweeps (dispatch / worker / status) ------------------------------
+DISTRIBUTED_ARGS = ["figure5", "--sizes", "10", "--joins", "5", "--time-limit", "20"]
+
+
+def test_dispatch_worker_status_drain(tmp_path, capsys):
+    queue_dir = str(tmp_path / "queue")
+    assert main(["dispatch", *DISTRIBUTED_ARGS, "--queue-dir", queue_dir]) == 0
+    out = capsys.readouterr().out
+    assert "7 task(s) enqueued" in out  # 6 strategies + single-user baseline
+    assert main(["worker", "--queue-dir", queue_dir, "--max-tasks", "7"]) == 0
+    assert "7 executed" in capsys.readouterr().out
+    assert main(["status", "--queue-dir", queue_dir, "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["all_done"] and status["total"] == 7 and status["failed"] == 0
+    # Re-dispatch of the finished sweep enqueues nothing.
+    assert main(["dispatch", *DISTRIBUTED_ARGS, "--queue-dir", queue_dir]) == 0
+    assert "7 already done" in capsys.readouterr().out
+
+
+def test_distributed_experiment_export_matches_local_run(tmp_path, capsys):
+    queue_dir = str(tmp_path / "queue")
+    assert main(["dispatch", *DISTRIBUTED_ARGS, "--replicates", "2",
+                 "--queue-dir", queue_dir]) == 0
+    assert main(["worker", "--queue-dir", queue_dir]) == 0
+    capsys.readouterr()
+    dist_csv = tmp_path / "dist.csv"
+    local_csv = tmp_path / "local.csv"
+    assert main(["experiment", *DISTRIBUTED_ARGS, "--replicates", "2",
+                 "--distributed", "--queue-dir", queue_dir, "--queue-timeout", "60",
+                 "--export", "csv", "--output", str(dist_csv)]) == 0
+    dist_table = capsys.readouterr().out
+    assert main(["experiment", *DISTRIBUTED_ARGS, "--replicates", "2",
+                 "--workers", "2", "--no-cache",
+                 "--export", "csv", "--output", str(local_csv)]) == 0
+    local_table = capsys.readouterr().out
+    assert dist_table == local_table
+    assert dist_csv.read_bytes() == local_csv.read_bytes()  # byte-identical export
+
+
+def test_distributed_requires_queue_dir():
+    with pytest.raises(SystemExit, match="requires --queue-dir"):
+        main(["experiment", "figure6", "--distributed"])
+
+
+def test_distributed_experiment_times_out_without_workers(tmp_path):
+    with pytest.raises(SystemExit, match="timed out"):
+        main(["experiment", *DISTRIBUTED_ARGS, "--distributed",
+              "--queue-dir", str(tmp_path / "queue"), "--queue-timeout", "0.2"])

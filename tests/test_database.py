@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.config import OltpConfig, RelationConfig, SystemConfig
-from repro.database import BTreeIndex, Catalog, Fragment, Relation, decluster, split_evenly
+from repro.database import BTreeIndex, Catalog, Fragment, decluster, split_evenly
 
 
 # -- split_evenly -----------------------------------------------------------

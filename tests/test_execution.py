@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.config import DiskConfig, SystemConfig
+from repro.config import SystemConfig
 from repro.database import Catalog
 from repro.engine import ProcessingElement
 from repro.execution import (

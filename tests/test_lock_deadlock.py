@@ -1,6 +1,5 @@
 """Tests for strict 2PL locking and central deadlock detection."""
 
-import pytest
 
 from repro.engine import DeadlockAbort, DeadlockDetector, LockManager, LockMode
 from repro.sim import Environment

@@ -233,3 +233,71 @@ def test_runner_rejects_negative_workers():
         ParallelRunner(workers=-1)
     assert ParallelRunner(workers=None).workers >= 1
     assert ParallelRunner(workers=0).workers >= 1
+
+
+# -- cache robustness under corruption and concurrent writers ----------------------
+def _cache_point() -> PointSpec:
+    return PointSpec(figure="f", series="s", x=10, kind="multi", scenario="homogeneous",
+                     num_pe=10, seed=42, strategy="OPT-IO-CPU", measured_joins=5)
+
+
+def _marker_result(marker: float) -> SimulationResult:
+    return SimulationResult(
+        strategy="s", num_pe=10, mode="multi-user", simulated_seconds=marker,
+        joins_completed=5, join_response_time=0.1, join_response_time_p95=0.2,
+        join_response_time_ci=0.0, average_degree=1.0, average_overflow_pages=0.0,
+        average_memory_wait=0.0, cpu_utilization=0.5, disk_utilization=0.5,
+        memory_utilization=0.5,
+    )
+
+
+def _hammer_cache(root: str, marker: float, iterations: int = 150) -> None:
+    cache = ResultCache(root)
+    point = _cache_point()
+    result = _marker_result(marker)
+    for _ in range(iterations):
+        cache.put(point, result)
+
+
+def test_cache_corrupt_entry_is_rewritten(tmp_path):
+    cache = ResultCache(tmp_path)
+    point = _cache_point()
+    path = cache.put(point, _marker_result(1.0))
+    # Truncate to a valid-JSON prefix of the real payload: still a miss.
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    assert cache.get(point) is None
+    assert cache.misses == 1
+    cache.put(point, _marker_result(2.0))
+    restored = cache.get(point)
+    assert restored is not None
+    assert restored.simulated_seconds == 2.0
+
+
+def test_cache_concurrent_writers_never_interleave(tmp_path):
+    """Two processes storing the same key leave only complete entries behind."""
+    import json as json_module
+    from concurrent.futures import ProcessPoolExecutor
+
+    cache = ResultCache(tmp_path)
+    point = _cache_point()
+    path = cache.path(point)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(_hammer_cache, str(tmp_path), marker) for marker in (1.0, 2.0)
+        ]
+        # Read concurrently while both writers hammer the same key: every
+        # observed file content must parse as one complete payload.
+        observed = set()
+        while any(not future.done() for future in futures):
+            try:
+                data = json_module.loads(path.read_text())
+            except FileNotFoundError:
+                continue
+            observed.add(data["result"]["simulated_seconds"])
+        for future in futures:
+            future.result()
+    assert observed <= {1.0, 2.0}
+    final = cache.get(point)
+    assert final is not None and final.simulated_seconds in (1.0, 2.0)
+    # No temp files left behind.
+    assert not list(tmp_path.glob("*.tmp"))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ControlConfig, SystemConfig
+from repro.config import SystemConfig
 from repro.engine import ProcessingElement
 from repro.scheduling import (
     ControlNode,

@@ -9,7 +9,7 @@ from repro.experiments.scenarios import homogeneous_config
 from repro.metrics import Timeline, TimelineWindow, aggregate_timelines
 from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, build_scenario
 from repro.runner.runner import run_point_spec
-from repro.runner.spec import DEFAULT_TIMELINE_WINDOW, PointSpec
+from repro.runner.spec import DEFAULT_TIMELINE_WINDOW
 from repro.simulation.driver import SimulationDriver
 from repro.simulation.results import SimulationResult, aggregate_results
 

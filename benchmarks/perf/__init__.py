@@ -1,0 +1,1 @@
+"""Kernel/figure performance harness (see :mod:`benchmarks.perf.harness`)."""

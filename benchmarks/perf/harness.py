@@ -1,0 +1,434 @@
+"""Performance harness: kernel microbenchmarks + figure-point wall times.
+
+This is the machine-readable perf trajectory of the repository.  Running the
+harness measures
+
+* **kernel microbenchmarks** -- events/sec through the discrete-event kernel
+  for the idioms the simulator leans on (timeout chains, FIFO and priority
+  resource contention, request cancellation churn, store ping-pong, monitor
+  statistics), and
+* **figure points** -- wall-clock best/p50/p95 of representative
+  tier-1-scale experiment points executed through the runner's
+  :func:`repro.runner.runner.run_point_spec` (the exact path every local,
+  parallel and distributed point takes).  Every sample runs in a *fresh
+  subprocess*: long-lived processes accumulate allocator/GC state that
+  skews later samples by 20 %+ on small VMs, which a per-sample process
+  resets.  Speedups use the best (minimum) sample -- the standard
+  noise-robust estimator on shared machines.
+
+Results are written to ``BENCH_PR5.json`` at the repository root under a
+``--label`` (``before``/``after``/anything): the file accumulates labels, so
+one JSON document carries the full before/after comparison and a computed
+``speedup`` section.  CI runs ``--quick`` and warn-only-compares events/sec
+against the committed floors in ``benchmarks/perf/baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py --label after
+    PYTHONPATH=src python benchmarks/perf/harness.py --quick --check-floor
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_PR5.json"
+FLOOR_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim import (  # noqa: E402
+    Container,
+    Environment,
+    PriorityResource,
+    Resource,
+    Store,
+    ValueMonitor,
+)
+
+__all__ = ["run_harness", "main", "MICROBENCHES"]
+
+
+# --------------------------------------------------------------------------
+# kernel microbenchmarks -- each returns the number of kernel events it
+# pushed through the queue; the caller turns that into events/sec.
+# --------------------------------------------------------------------------
+
+def bench_timeout_chain(scale: int) -> int:
+    """Raw event throughput: independent processes running timeout chains."""
+    env = Environment()
+    hops = 50 * scale
+
+    def ticker(period: float):
+        for _ in range(hops):
+            yield env.timeout(period)
+
+    for index in range(20):
+        env.process(ticker(0.1 + 0.01 * index))
+    env.run()
+    return 20 * hops
+
+
+def bench_fifo_resource(scale: int) -> int:
+    """FIFO resource under contention (the CPU/disk/controller idiom)."""
+    env = Environment()
+    server = Resource(env, capacity=2)
+    rounds = 25 * scale
+    users = 16
+
+    def user():
+        for _ in range(rounds):
+            with server.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+    for _ in range(users):
+        env.process(user())
+    env.run()
+    # request grant + timeout per round per user.
+    return 2 * users * rounds
+
+
+def bench_priority_resource(scale: int) -> int:
+    """Priority queue discipline with mixed priorities (the CPU idiom)."""
+    env = Environment()
+    cpu = PriorityResource(env, capacity=1)
+    rounds = 25 * scale
+    users = 12
+
+    def user(priority: int):
+        for _ in range(rounds):
+            with cpu.request(priority=priority) as req:
+                yield req
+                yield env.timeout(0.5)
+
+    for index in range(users):
+        env.process(user(priority=index % 3))
+    env.run()
+    return 2 * users * rounds
+
+
+def bench_cancellation_churn(scale: int) -> int:
+    """Many queued requests cancelled before their grant (lazy purge path)."""
+    env = Environment()
+    cpu = PriorityResource(env, capacity=1)
+    waves = 10 * scale
+    per_wave = 40
+
+    def holder():
+        with cpu.request(priority=0) as req:
+            yield req
+            yield env.timeout(float(waves) + 1.0)
+
+    def churn():
+        for _ in range(waves):
+            doomed = [cpu.request(priority=5) for _ in range(per_wave)]
+            yield env.timeout(1.0)
+            for request in doomed:
+                request.cancel()
+
+    env.process(holder())
+    env.process(churn())
+    env.run()
+    return waves * per_wave
+
+
+def bench_store_pingpong(scale: int) -> int:
+    """Store put/get ping-pong (the message-passing idiom)."""
+    env = Environment()
+    store = Store(env)
+    messages = 400 * scale
+
+    def producer():
+        for index in range(messages):
+            yield store.put(index)
+            yield env.timeout(0.01)
+
+    def consumer():
+        for _ in range(messages):
+            yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    return 3 * messages
+
+
+def bench_container_tokens(scale: int) -> int:
+    """Container get/put token accounting (the buffer-pool idiom)."""
+    env = Environment()
+    pool = Container(env, capacity=100.0, init=100.0)
+    rounds = 300 * scale
+
+    def worker():
+        for _ in range(rounds):
+            yield pool.get(30.0)
+            yield env.timeout(0.5)
+            yield pool.put(30.0)
+
+    for _ in range(4):
+        env.process(worker())
+    env.run()
+    return 3 * 4 * rounds
+
+
+def bench_monitor_stats(scale: int) -> int:
+    """ValueMonitor record + rolling min/max/percentile reads."""
+    monitor = ValueMonitor("bench")
+    samples = 4000 * scale
+    sink = 0.0
+    for index in range(samples):
+        monitor.record((index * 2654435761 % 1000) / 10.0)
+        if index % 50 == 0:
+            sink += monitor.minimum + monitor.maximum + monitor.mean
+    sink += monitor.percentile(50) + monitor.percentile(95)
+    if not math.isfinite(sink):  # pragma: no cover - sanity guard
+        raise RuntimeError("monitor benchmark produced non-finite values")
+    return samples
+
+
+MICROBENCHES: Dict[str, Callable[[int], int]] = {
+    "timeout_chain": bench_timeout_chain,
+    "fifo_resource": bench_fifo_resource,
+    "priority_resource": bench_priority_resource,
+    "cancellation_churn": bench_cancellation_churn,
+    "store_pingpong": bench_store_pingpong,
+    "container_tokens": bench_container_tokens,
+    "monitor_stats": bench_monitor_stats,
+}
+
+
+def _time_micro(fn: Callable[[int], int], scale: int, repeats: int) -> Dict[str, float]:
+    fn(max(1, scale // 10))  # warm-up at reduced scale
+    best = math.inf
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events = fn(scale)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return {
+        "events": events,
+        "seconds": round(best, 6),
+        "events_per_sec": round(events / best, 1) if best > 0 else float("inf"),
+    }
+
+
+# --------------------------------------------------------------------------
+# figure-point macrobenchmarks
+# --------------------------------------------------------------------------
+
+def _figure_points(quick: bool):
+    """Representative tier-1-scale points (multi-user figure5 + OLTP mix)."""
+    from repro.runner import build_scenario
+    import repro.experiments  # noqa: F401 - populate the scenario registry
+
+    joins = 10 if quick else 40
+    sizes = [20] if quick else [40, 80]
+    spec = build_scenario("figure5", system_sizes=sizes, measured_joins=joins)
+    points = [
+        point
+        for point in spec.points()
+        if point.kind == "multi" and point.strategy in ("psu_noIO+RANDOM", "psu_opt+LUM")
+    ]
+    return points
+
+
+#: Executed with ``python -c`` per figure-point sample; reads the point's
+#: ``asdict`` payload on stdin, prints ``seconds joins`` on stdout.
+_CHILD_SCRIPT = """\
+import json, sys, time
+from repro.runner.spec import point_from_payload
+from repro.runner.runner import run_point_spec
+point = point_from_payload(json.loads(sys.stdin.read()))
+start = time.perf_counter()
+result = run_point_spec(point)
+print(time.perf_counter() - start, result.joins_completed)
+"""
+
+
+def _time_point_in_subprocess(payload: str, env: Dict[str, str]) -> tuple[float, int]:
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        input=payload, capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"figure-point child failed:\n{proc.stderr}")
+    seconds, joins = proc.stdout.split()[-2:]
+    return float(seconds), int(joins)
+
+
+def _time_figure_points(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    import dataclasses
+
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+
+    results: Dict[str, Dict[str, float]] = {}
+    for point in _figure_points(quick):
+        key = f"{point.figure}/{point.strategy}@{point.num_pe}pe"
+        payload = json.dumps(dataclasses.asdict(point))
+        samples: List[float] = []
+        joins = 0
+        for _ in range(repeats):
+            seconds, joins = _time_point_in_subprocess(payload, env)
+            samples.append(seconds)
+        samples.sort()
+        results[key] = {
+            "runs": repeats,
+            "joins_completed": joins,
+            "p50_s": round(statistics.median(samples), 4),
+            "p95_s": round(
+                samples[min(len(samples) - 1, math.ceil(0.95 * len(samples)) - 1)], 4
+            ),
+            "best_s": round(samples[0], 4),
+            "mean_s": round(statistics.fmean(samples), 4),
+        }
+    return results
+
+
+# --------------------------------------------------------------------------
+# orchestration
+# --------------------------------------------------------------------------
+
+def run_harness(
+    label: str,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    skip_figures: bool = False,
+) -> Dict[str, object]:
+    """Run every benchmark and return this label's result document."""
+    scale = 1 if quick else 4
+    micro_repeats = repeats or (2 if quick else 3)
+    micro: Dict[str, Dict[str, float]] = {}
+    for name, fn in MICROBENCHES.items():
+        micro[name] = _time_micro(fn, scale, micro_repeats)
+        print(
+            f"[micro] {name:>20}: {micro[name]['events_per_sec']:>12,.0f} events/s "
+            f"({micro[name]['seconds'] * 1e3:,.1f} ms for {micro[name]['events']:,} events)"
+        )
+    figures: Dict[str, Dict[str, float]] = {}
+    if not skip_figures:
+        figure_repeats = repeats or (3 if quick else 5)
+        figures = _time_figure_points(quick, figure_repeats)
+        for key, stats in figures.items():
+            print(
+                f"[figure] {key}: p50 {stats['p50_s'] * 1e3:,.0f} ms, "
+                f"p95 {stats['p95_s'] * 1e3:,.0f} ms over {stats['runs']} runs"
+            )
+    return {
+        "label": label,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "micro": micro,
+        "figure_points": figures,
+    }
+
+
+def _merge_and_write(document: Dict[str, object], path: Path) -> Dict[str, object]:
+    """Merge this label's run into the accumulating BENCH_PR5.json."""
+    merged: Dict[str, object] = {"schema": "repro-lb-bench/1", "runs": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict) and isinstance(existing.get("runs"), dict):
+                merged = existing
+                merged.setdefault("schema", "repro-lb-bench/1")
+        except (json.JSONDecodeError, OSError):
+            pass
+    merged["runs"][document["label"]] = document
+    merged["speedup"] = _speedups(merged["runs"])
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return merged
+
+
+def _speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """after/before ratios when both labels are present (else empty)."""
+    before = runs.get("before")
+    after = runs.get("after")
+    if not before or not after:
+        return {}
+    result: Dict[str, object] = {}
+    micro = {}
+    for name, stats in after.get("micro", {}).items():
+        base = before.get("micro", {}).get(name)
+        if base and base.get("events_per_sec"):
+            micro[name] = round(stats["events_per_sec"] / base["events_per_sec"], 3)
+    if micro:
+        result["micro_events_per_sec"] = micro
+    figures = {}
+    for key, stats in after.get("figure_points", {}).items():
+        base = before.get("figure_points", {}).get(key)
+        if base and stats.get("best_s"):
+            figures[key] = round(base["best_s"] / stats["best_s"], 3)
+    if figures:
+        result["figure_point_wall"] = figures
+    return result
+
+
+def check_floor(document: Dict[str, object], floor_path: Path = FLOOR_PATH) -> List[str]:
+    """Warn-only comparison of events/sec against the committed floors."""
+    warnings: List[str] = []
+    if not floor_path.exists():
+        return [f"no baseline floor file at {floor_path}"]
+    floors = json.loads(floor_path.read_text()).get("micro_events_per_sec_floor", {})
+    for name, floor in floors.items():
+        stats = document["micro"].get(name)
+        if stats is None:
+            warnings.append(f"floor check: microbench {name!r} missing from this run")
+            continue
+        if stats["events_per_sec"] < floor:
+            warnings.append(
+                f"floor check: {name} at {stats['events_per_sec']:,.0f} events/s "
+                f"is below the committed floor of {floor:,.0f}"
+            )
+    return warnings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after",
+                        help="label for this run in BENCH_PR5.json (default: after)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced load for CI (smaller scale, fewer repeats)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override the per-benchmark repeat count")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="microbenchmarks only (no figure points)")
+    parser.add_argument("--output", default=str(BENCH_PATH),
+                        help="result JSON path (default: BENCH_PR5.json at the repo root)")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="warn (exit 0) when events/sec fall below the committed floors")
+    args = parser.parse_args(argv)
+
+    document = run_harness(
+        args.label, quick=args.quick, repeats=args.repeats, skip_figures=args.skip_figures
+    )
+    merged = _merge_and_write(document, Path(args.output))
+    print(f"[bench] wrote label {args.label!r} to {args.output}")
+    for key, ratio in (merged.get("speedup", {}).get("figure_point_wall", {}) or {}).items():
+        print(f"[speedup] {key}: {ratio:.2f}x")
+    if args.check_floor:
+        for warning in check_floor(document):
+            print(f"::warning::{warning}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

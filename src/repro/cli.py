@@ -273,6 +273,30 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--worker-id", default=None,
                         help="stable worker name for leases/logs (default: host-pid)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="run one scenario point under cProfile and print the hottest entries",
+    )
+    profile.add_argument("figure", choices=available_scenarios(),
+                         help="registered scenario to profile")
+    profile.add_argument("--point", type=int, default=0, metavar="N",
+                         help="index into the expanded point list (default 0; "
+                              "see --list-points)")
+    profile.add_argument("--top", type=int, default=25, metavar="K",
+                         help="number of profile entries to print (default %(default)s)")
+    profile.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],
+                         default="cumulative",
+                         help="profile sort order (default %(default)s)")
+    profile.add_argument("--list-points", action="store_true",
+                         help="list the scenario's expanded points and exit")
+    profile.add_argument("--joins", type=int, default=None, help="measured joins per point")
+    profile.add_argument("--sizes", type=int, nargs="*", default=None, help="system sizes")
+    profile.add_argument("--time-limit", type=float, default=None,
+                         help="simulated seconds cap")
+    profile.add_argument("--output", default=None, metavar="PATH",
+                         help="also dump the raw pstats data to PATH "
+                              "(inspect with python -m pstats)")
+
     status = sub.add_parser("status", help="summarise a work queue's task states")
     status.add_argument("--queue-dir", required=True, metavar="DIR",
                         help="work-queue directory to inspect")
@@ -404,6 +428,50 @@ def _experiment_spec(args: argparse.Namespace) -> ScenarioSpec:
 def _run_experiment(args: argparse.Namespace) -> int:
     spec = _experiment_spec(args)
     _print_spec_result(spec, _make_runner(args), args)
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """Developer tooling for perf work: cProfile one point of a scenario."""
+    import cProfile
+    import pstats
+    import time
+
+    from repro.runner.runner import run_point_spec
+
+    spec = _experiment_spec(args)
+    try:
+        points = spec.points()
+    except ValueError as exc:
+        raise SystemExit(f"invalid scenario: {exc}") from None
+    if not points:
+        raise SystemExit(f"scenario {args.figure!r} expands to no points")
+    if args.list_points:
+        for index, point in enumerate(points):
+            print(f"{index:3d}  {point.kind:>8}  {point.series} @ x={point.x:g} "
+                  f"({point.num_pe} PE, seed {point.seed})")
+        return 0
+    if not 0 <= args.point < len(points):
+        raise SystemExit(
+            f"--point must be in [0, {len(points) - 1}] for {args.figure!r} "
+            "(see --list-points)"
+        )
+    point = points[args.point]
+    print(f"[profile] {point.figure}: {point.series} @ x={point.x:g} "
+          f"({point.num_pe} PE, kind {point.kind})", file=sys.stderr)
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = run_point_spec(point)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    print(f"[profile] wall {elapsed:.3f} s, joins_completed {result.joins_completed}",
+          file=sys.stderr)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(max(1, args.top))
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"[profile] raw pstats written to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -656,6 +724,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "dispatch":
         return _run_dispatch(args)
     if args.command == "worker":

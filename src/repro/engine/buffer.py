@@ -268,7 +268,9 @@ class BufferManager:
             self.pages_stolen += take
             added += take
             needed -= take
-            self.occupancy.update(self.total_pages - self._free_pages)
+            # No occupancy update: stealing moves pages between a working
+            # space and the OLTP footprint, so the used-page count (the
+            # monitored signal) is unchanged.
             if victim.steal_callback is not None:
                 victim.steal_callback(take)
         return added

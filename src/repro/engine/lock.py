@@ -25,6 +25,9 @@ class LockMode(str, Enum):
     EXCLUSIVE = "X"
 
     def compatible_with(self, other: "LockMode") -> bool:
+        # Canonical compatibility matrix (only S/S is compatible).  The hot
+        # paths in LockManager._grantable and LockManager._wake_waiters
+        # inline this predicate -- keep them in sync when changing it.
         return self is LockMode.SHARED and other is LockMode.SHARED
 
 
@@ -94,10 +97,16 @@ class LockManager:
         if entry.waiters:
             # FIFO fairness: nobody jumps the queue.
             return False
-        for holder, held_mode in entry.holders.items():
-            if holder == txn_id:
-                continue
-            if not mode.compatible_with(held_mode):
+        # Inlined LockMode.compatible_with (only S/S is compatible): every
+        # OLTP tuple access takes a lock, so this is a hot path.  Keep in
+        # sync with the enum method.
+        if mode is LockMode.SHARED:
+            for holder, held_mode in entry.holders.items():
+                if holder != txn_id and held_mode is not LockMode.SHARED:
+                    return False
+            return True
+        for holder in entry.holders:
+            if holder != txn_id:
                 return False
         return True
 
@@ -126,10 +135,14 @@ class LockManager:
     def _wake_waiters(self, resource: object, entry: _LockEntry) -> None:
         while entry.waiters:
             request = entry.waiters[0]
-            compatible = all(
-                request.mode.compatible_with(mode) or holder == request.txn_id
-                for holder, mode in entry.holders.items()
-            )
+            req_txn = request.txn_id
+            # Inlined LockMode.compatible_with -- keep in sync with the enum.
+            shared = request.mode is LockMode.SHARED
+            compatible = True
+            for holder, mode in entry.holders.items():
+                if holder != req_txn and not (shared and mode is LockMode.SHARED):
+                    compatible = False
+                    break
             if not compatible:
                 return
             entry.waiters.popleft()

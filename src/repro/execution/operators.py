@@ -103,7 +103,7 @@ def scan_fragment(
     once for the node's whole output.
     """
     env = pe.env
-    prefetch = max(1, pe.disks.config.prefetch_pages)
+    prefetch = pe.disks.prefetch
 
     pages = work.total_pages
     if pages > 0:

@@ -157,21 +157,23 @@ class PPHJExecutor:
         """Receive the inner relation share and build the (partial) hash table."""
         share = self.share
         costs = self.costs
+        pe = self.pe
+        priority = self.priority
         if share.inner_tuples > 0:
             receive_bytes = share.inner_tuples * share.tuple_size_bytes
             cpu = self._receive_instructions(receive_bytes, self.inner_sources)
             cpu += share.inner_tuples * (costs.hash_tuple + costs.insert_into_hash_table)
-            yield from self.pe.cpu.consume(cpu, priority=self.priority)
+            yield from pe.cpu.consume(cpu, priority=priority)
 
         resident = self._resident_fraction()
         self.overflow_inner_pages = math.ceil((1.0 - resident) * share.inner_pages)
         if self.overflow_inner_pages > 0:
-            prefetch = max(1, self.pe.disks.config.prefetch_pages)
+            prefetch = pe.disks.prefetch
             ios = math.ceil(self.overflow_inner_pages / prefetch)
-            yield from self.pe.cpu.consume(ios * costs.io_operation, priority=self.priority)
-            yield from self.pe.disks.write_sequential(self.overflow_inner_pages)
+            yield from pe.cpu.consume(ios * costs.io_operation, priority=priority)
+            yield from pe.disks.write_sequential(self.overflow_inner_pages)
             self.temp_pages_written += self.overflow_inner_pages
-            self.pe.temp_pages_written += self.overflow_inner_pages
+            pe.temp_pages_written += self.overflow_inner_pages
 
     # -- probe phase --------------------------------------------------------------------
     def probe_phase(self, result_destination=None) -> Generator:
@@ -180,6 +182,8 @@ class PPHJExecutor:
         result to the coordinator."""
         share = self.share
         costs = self.costs
+        pe = self.pe
+        priority = self.priority
         resident = self._resident_fraction()
 
         if share.outer_tuples > 0:
@@ -190,47 +194,47 @@ class PPHJExecutor:
             spooled_tuples = share.outer_tuples - resident_tuples
             cpu += resident_tuples * costs.probe_hash_table
             cpu += spooled_tuples * costs.write_tuple_to_output
-            yield from self.pe.cpu.consume(cpu, priority=self.priority)
+            yield from pe.cpu.consume(cpu, priority=priority)
 
             self.overflow_outer_pages = (
                 math.ceil(spooled_tuples / share.blocking_factor) if spooled_tuples else 0
             )
             if self.overflow_outer_pages > 0:
-                prefetch = max(1, self.pe.disks.config.prefetch_pages)
+                prefetch = pe.disks.prefetch
                 ios = math.ceil(self.overflow_outer_pages / prefetch)
-                yield from self.pe.cpu.consume(ios * costs.io_operation, priority=self.priority)
-                yield from self.pe.disks.write_sequential(self.overflow_outer_pages)
+                yield from pe.cpu.consume(ios * costs.io_operation, priority=priority)
+                yield from pe.disks.write_sequential(self.overflow_outer_pages)
                 self.temp_pages_written += self.overflow_outer_pages
-                self.pe.temp_pages_written += self.overflow_outer_pages
+                pe.temp_pages_written += self.overflow_outer_pages
 
         # Deferred join of disk-resident partitions.
         deferred_pages = self.overflow_inner_pages + self.overflow_outer_pages
         if deferred_pages > 0:
             deferred_inner_tuples = round((1.0 - resident) * share.inner_tuples)
             deferred_outer_tuples = round((1.0 - resident) * share.outer_tuples)
-            prefetch = max(1, self.pe.disks.config.prefetch_pages)
+            prefetch = pe.disks.prefetch
             ios = math.ceil(deferred_pages / prefetch)
             cpu = ios * costs.io_operation
             cpu += deferred_inner_tuples * (
                 costs.read_tuple + costs.hash_tuple + costs.insert_into_hash_table
             )
             cpu += deferred_outer_tuples * (costs.read_tuple + costs.probe_hash_table)
-            io_process = self.env.process(self.pe.disks.read_sequential(deferred_pages))
-            cpu_process = self.env.process(self.pe.cpu.consume(cpu, priority=self.priority))
+            io_process = self.env.process(pe.disks.read_sequential(deferred_pages))
+            cpu_process = self.env.process(pe.cpu.consume(cpu, priority=priority))
             yield self.env.all_of([io_process, cpu_process])
             self.temp_pages_read += deferred_pages
-            self.pe.temp_pages_read += deferred_pages
+            pe.temp_pages_read += deferred_pages
 
         # Produce and ship the result tuples.
         if share.result_tuples > 0:
             result_bytes = share.result_tuples * share.tuple_size_bytes
             cpu = share.result_tuples * costs.write_tuple_to_output
             cpu += self.network.send_instructions(result_bytes)
-            yield from self.pe.cpu.consume(cpu, priority=self.priority)
+            yield from pe.cpu.consume(cpu, priority=priority)
             yield from self.network.transfer(result_bytes)
             self.result_bytes_sent = result_bytes
 
-        self.pe.joins_processed += 1
+        pe.joins_processed += 1
 
     # -- combined statistics -----------------------------------------------------------------
     @property

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.config.parameters import CpuConfig, InstructionCosts
-from repro.sim import Environment, PriorityResource
+from repro.sim import Environment, PriorityResource, Timeout
 
 __all__ = ["CpuServer", "PRIORITY_OLTP", "PRIORITY_QUERY", "PRIORITY_BACKGROUND"]
 
@@ -46,6 +46,7 @@ class CpuServer:
         self.costs = costs
         self.pe_id = pe_id
         self.resource = PriorityResource(env, capacity=config.cpus_per_pe, name=f"cpu[{pe_id}]")
+        self._quantum = max(1, config.quantum_instructions)
         self._window_start_time = 0.0
         self._window_start_busy = 0.0
         self._windowed_utilization = 0.0
@@ -71,13 +72,29 @@ class CpuServer:
         if instructions <= 0:
             return
         self.total_instructions += instructions
-        quantum = max(1, self.config.quantum_instructions)
+        env = self.env
+        resource = self.resource
+        seconds_for = self.config.seconds_for
+        quantum = self._quantum
+        if instructions <= quantum:
+            # Fast path: most demands (message handling, per-chunk CPU work)
+            # fit in one quantum -- no slicing arithmetic needed.
+            req = resource.request(priority=priority)
+            try:
+                yield req
+                yield Timeout(env, seconds_for(instructions))
+            finally:
+                resource.release(req)
+            return
         remaining = instructions
         while remaining > 0:
-            slice_instructions = min(remaining, quantum)
-            with self.resource.request(priority=priority) as req:
+            slice_instructions = quantum if remaining > quantum else remaining
+            req = resource.request(priority=priority)
+            try:
                 yield req
-                yield self.env.timeout(self.seconds_for(slice_instructions))
+                yield Timeout(env, seconds_for(slice_instructions))
+            finally:
+                resource.release(req)
             remaining -= slice_instructions
 
     # -- utilisation -------------------------------------------------------

@@ -17,7 +17,7 @@ from collections import OrderedDict
 from typing import Generator, List, Optional, Tuple
 
 from repro.config.parameters import DiskConfig
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, Timeout
 
 __all__ = ["LruCache", "DiskArray"]
 
@@ -86,6 +86,9 @@ class DiskArray:
             Resource(env, capacity=1, name=f"disk[{pe_id}.{index}]") for index in range(count)
         ]
         self.controller = Resource(env, capacity=1, name=f"diskctl[{pe_id}]")
+        #: Pages fetched per physical sequential I/O (>= 1; used by the
+        #: execution layer to derive I/O counts without re-clamping).
+        self.prefetch = max(1, config.prefetch_pages)
         self.cache = LruCache(config.cache_pages)
         self.pages_read = 0
         self.pages_written = 0
@@ -93,23 +96,47 @@ class DiskArray:
 
     # -- helpers -----------------------------------------------------------
     def _pick_disk(self, preferred: Optional[int] = None) -> Resource:
+        disks = self.disks
         if preferred is not None:
-            return self.disks[preferred % len(self.disks)]
-        return min(self.disks, key=lambda disk: (disk.queue_length, disk.count))
+            return disks[preferred % len(disks)]
+        if len(disks) == 1:
+            return disks[0]
+        # First disk with the smallest (queue_length, busy) pair -- the same
+        # disk min(key=...) selected, without a lambda per call.
+        best = disks[0]
+        best_queued = best._queued
+        best_busy = best._busy_servers
+        for disk in disks:
+            queued = disk._queued
+            if queued > best_queued:
+                continue
+            busy = disk._busy_servers
+            if queued < best_queued or busy < best_busy:
+                best = disk
+                best_queued = queued
+                best_busy = busy
+        return best
 
     def _physical_io(
         self, disk: Resource, busy_time: float, controller_pages: int
     ) -> Generator:
         """One physical I/O: queue at the disk, then at the controller."""
         self.physical_ios += 1
-        with disk.request() as req:
+        req = disk.request()
+        try:
             yield req
             yield self.env.timeout(busy_time)
+        finally:
+            disk.release(req)
         controller_time = self.config.controller_time(controller_pages)
         if controller_time > 0:
-            with self.controller.request() as req:
+            controller = self.controller
+            req = controller.request()
+            try:
                 yield req
                 yield self.env.timeout(controller_time)
+            finally:
+                controller.release(req)
 
     # -- public operations ---------------------------------------------------
     def read_sequential(
@@ -123,12 +150,38 @@ class DiskArray:
         if pages <= 0:
             return
         self.pages_read += pages
-        prefetch = max(1, self.config.prefetch_pages)
+        yield from self._sequential_io(pages, preferred_disk)
+
+    def _sequential_io(self, pages: int, preferred_disk: Optional[int]) -> Generator:
+        """Chunked physical I/Os for a sequential read or write.
+
+        The per-chunk work of :meth:`_physical_io` is inlined (no sub-generator
+        per chunk) -- scans issue tens of thousands of these per point.
+        """
+        env = self.env
+        config = self.config
+        controller = self.controller
+        prefetch = self.prefetch
         remaining = pages
         while remaining > 0:
-            chunk = min(prefetch, remaining)
-            busy = self.config.sequential_io_time(chunk)
-            yield from self._physical_io(self._pick_disk(preferred_disk), busy, chunk)
+            chunk = prefetch if remaining > prefetch else remaining
+            busy = config.sequential_io_time(chunk)
+            disk = self._pick_disk(preferred_disk)
+            self.physical_ios += 1
+            req = disk.request()
+            try:
+                yield req
+                yield Timeout(env, busy)
+            finally:
+                disk.release(req)
+            controller_time = config.controller_time(chunk)
+            if controller_time > 0:
+                req = controller.request()
+                try:
+                    yield req
+                    yield Timeout(env, controller_time)
+                finally:
+                    controller.release(req)
             remaining -= chunk
 
     def read_random(self, page_key: object = None, preferred_disk: Optional[int] = None) -> Generator:
@@ -136,9 +189,13 @@ class DiskArray:
         self.pages_read += 1
         if page_key is not None and self.cache.access(page_key):
             # Cache hit: controller service and transmission only.
-            with self.controller.request() as req:
+            controller = self.controller
+            req = controller.request()
+            try:
                 yield req
                 yield self.env.timeout(self.config.controller_time(1))
+            finally:
+                controller.release(req)
             return
         busy = self.config.random_io_time()
         yield from self._physical_io(self._pick_disk(preferred_disk), busy, 1)
@@ -150,13 +207,7 @@ class DiskArray:
         if pages <= 0:
             return
         self.pages_written += pages
-        prefetch = max(1, self.config.prefetch_pages)
-        remaining = pages
-        while remaining > 0:
-            chunk = min(prefetch, remaining)
-            busy = self.config.sequential_io_time(chunk)
-            yield from self._physical_io(self._pick_disk(preferred_disk), busy, chunk)
-            remaining -= chunk
+        yield from self._sequential_io(pages, preferred_disk)
 
     def write_random(self, preferred_disk: Optional[int] = None) -> Generator:
         """Random single-page write (log forces, dirty page flushes)."""
@@ -189,4 +240,4 @@ class DiskArray:
     @property
     def queue_length(self) -> int:
         """Total number of waiting I/O requests across the PE's disks."""
-        return sum(disk.queue_length for disk in self.disks)
+        return sum(disk._queued for disk in self.disks)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config.parameters import InstructionCosts, NetworkConfig
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, Timeout
 
 __all__ = ["Network"]
 
@@ -85,9 +85,13 @@ class Network:
         self.packets_sent += self.packets_for(nbytes)
         self.bytes_sent += max(0, nbytes)
         delay = self.transfer_time(nbytes)
-        if self._fabric is None:
-            yield self.env.timeout(delay)
+        fabric = self._fabric
+        if fabric is None:
+            yield Timeout(self.env, delay)
             return
-        with self._fabric.request() as req:
+        req = fabric.request()
+        try:
             yield req
-            yield self.env.timeout(delay)
+            yield Timeout(self.env, delay)
+        finally:
+            fabric.release(req)

@@ -137,6 +137,10 @@ class TimelineCollector:
         self.env = env
         self.pes = list(pes)
         self.window = float(window)
+        # Per-PE capacities are invariant across windows; compute them once
+        # instead of per window close (windows can be short and PEs many).
+        self._cpu_capacities = [pe.cpu.resource.capacity for pe in self.pes]
+        self._buffer_pages = [pe.buffer.total_pages for pe in self.pes]
         self.windows: List[TimelineWindow] = []
         self._join_rts: List[float] = []
         self._oltp_rts: List[float] = []
@@ -173,17 +177,20 @@ class TimelineCollector:
             return
         current = _ResourceSnapshot(self.env, self.pes)
         baseline = self._baseline
-        capacities = [pe.cpu.resource.capacity for pe in self.pes]
         cpu = [
             min(1.0, (c - b) / (elapsed * capacity))
-            for c, b, capacity in zip(current.cpu_busy, baseline.cpu_busy, capacities)
+            for c, b, capacity in zip(
+                current.cpu_busy, baseline.cpu_busy, self._cpu_capacities
+            )
         ]
         disk = [
             pe.disks.utilization_since(snap) for pe, snap in zip(self.pes, baseline.disk)
         ]
         mem = [
-            min(1.0, (c - b) / (elapsed * pe.buffer.total_pages))
-            for c, b, pe in zip(current.mem_area, baseline.mem_area, self.pes)
+            min(1.0, (c - b) / (elapsed * pages))
+            for c, b, pages in zip(
+                current.mem_area, baseline.mem_area, self._buffer_pages
+            )
         ]
         cpu_mean, cpu_max, cpu_imb = _fold(cpu)
         disk_mean, disk_max, disk_imb = _fold(disk)

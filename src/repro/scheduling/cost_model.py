@@ -55,6 +55,23 @@ class CostModel:
         self.config = config
         self.costs = config.costs
         self.control = config.control
+        # psu-opt / psu-noIO are pure functions of the cost-relevant query
+        # fields (config is frozen), but evaluating psu-opt scans ~2n degrees
+        # through the response-time formula.  Queries of one workload class
+        # share these fields, so the per-run cache collapses that to one
+        # evaluation per class.
+        self._psu_opt_cache: dict = {}
+        self._psu_no_io_cache: dict = {}
+
+    @staticmethod
+    def _query_key(query: JoinQuery) -> tuple:
+        return (
+            query.inner_relation,
+            query.outer_relation,
+            query.scan_selectivity,
+            query.result_fraction_of_inner,
+            query.fudge_factor,
+        )
 
     # -- query profile -------------------------------------------------------
     def profile(self, query: JoinQuery) -> JoinProfile:
@@ -89,10 +106,15 @@ class CostModel:
         psu-noIO = MIN(n, ceil(bi * F / m)) with bi the inner scan output in
         pages, F the fudge factor and m the buffer size per processor.
         """
-        profile = self.profile(query)
-        memory_per_pe = self.config.buffer.buffer_pages
-        needed = profile.inner_pages * profile.fudge_factor
-        return max(1, min(self.config.num_pe, math.ceil(needed / memory_per_pe)))
+        key = self._query_key(query)
+        cached = self._psu_no_io_cache.get(key)
+        if cached is None:
+            profile = self.profile(query)
+            memory_per_pe = self.config.buffer.buffer_pages
+            needed = profile.inner_pages * profile.fudge_factor
+            cached = max(1, min(self.config.num_pe, math.ceil(needed / memory_per_pe)))
+            self._psu_no_io_cache[key] = cached
+        return cached
 
     # -- single-user response time R(p) ------------------------------------------
     def estimate_response_time(self, query: JoinQuery, degree: int) -> float:
@@ -200,14 +222,18 @@ class CostModel:
         callers cap it at ``n`` when allocating processors.
         """
         limit = max_degree if max_degree is not None else max(2 * self.config.num_pe, 128)
-        best_degree = 1
-        best_time = float("inf")
-        for degree in range(1, limit + 1):
-            estimate = self.estimate_response_time(query, degree)
-            if estimate < best_time - 1e-12:
-                best_time = estimate
-                best_degree = degree
-        return best_degree
+        key = (*self._query_key(query), limit)
+        cached = self._psu_opt_cache.get(key)
+        if cached is None:
+            best_degree = 1
+            best_time = float("inf")
+            for degree in range(1, limit + 1):
+                estimate = self.estimate_response_time(query, degree)
+                if estimate < best_time - 1e-12:
+                    best_time = estimate
+                    best_degree = degree
+            cached = self._psu_opt_cache[key] = best_degree
+        return cached
 
     # -- formula (3.2): pmu-cpu -------------------------------------------------------
     def pmu_cpu(self, query: JoinQuery, cpu_utilization: float) -> int:

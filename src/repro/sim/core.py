@@ -17,11 +17,34 @@ which keeps the kernel small, fast and easy to test:
 
 Resource abstractions (servers, token pools, stores) live in
 :mod:`repro.sim.resources`.
+
+The kernel is the hot path of every experiment point, so the implementation
+trades a little uniformity for constant-factor speed:
+
+* callback lists are allocated lazily (most events have zero or one waiter;
+  ``callbacks`` is ``None`` until the first waiter registers and the
+  :data:`PROCESSED` sentinel once the callbacks have run);
+* heap entries are bare ``(time, eid, event)`` triples -- the tie-breaking
+  event id alone fixes FIFO order at equal times;
+* a process whose yielded target has *already been processed* is resumed
+  synchronously instead of round-tripping an intermediate event through the
+  heap;
+* :meth:`Environment.run` inlines the per-event work of :meth:`step` so the
+  main loop costs one heap pop and one callback walk per event.
+
+Events still fire in ``(time, schedule order)`` sequence and callback
+registration order is preserved.  One scheduling contract is deliberately
+different from the pre-overhaul kernel: a process yielding an event that was
+*already processed* continues immediately (same timestamp), instead of being
+re-queued behind other events already scheduled at the current time.  No
+simulator code path depends on the old deferred ordering -- the golden-file
+determinism test (``tests/test_determinism.py``) pins that experiment
+outcomes are byte-identical across the overhaul.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -34,6 +57,7 @@ __all__ = [
     "AnyOf",
     "Environment",
     "PENDING",
+    "PROCESSED",
 ]
 
 
@@ -60,7 +84,15 @@ class _Pending:
         return "<PENDING>"
 
 
+class _Processed:
+    """Sentinel stored in ``Event.callbacks`` once the callbacks have run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PROCESSED>"
+
+
 PENDING = _Pending()
+PROCESSED = _Processed()
 
 
 class Event:
@@ -69,17 +101,19 @@ class Event:
     Events start *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
     triggers them, which schedules them for processing; at processing time
     every registered callback is invoked exactly once.
+
+    ``callbacks`` is ``None`` while no waiter has registered (the list is
+    allocated lazily), a list of callables while waiters are registered, and
+    the :data:`PROCESSED` sentinel once the event has been processed.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+    __slots__ = ("env", "callbacks", "_value", "_ok")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Any = None
         self._value: Any = PENDING
         self._ok: bool = True
-        self._scheduled = False
-        self._processed = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -90,7 +124,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the callbacks have run."""
-        return self._processed
+        return self.callbacks is PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -104,6 +138,19 @@ class Event:
             raise SimulationError("value of untriggered event is not available")
         return self._value
 
+    # -- callback registration -------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run at processing time.
+
+        Must not be called on an already processed event (check
+        :attr:`processed` first).
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = [callback]
+        else:
+            callbacks.append(callback)
+
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
@@ -111,7 +158,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        eid = env._eid = env._eid + 1
+        heappush(env._queue, (env._now, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -149,11 +198,15 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + scheduling: timeouts are the most common
+        # event by far and are born triggered.
+        self.env = env
+        self.callbacks = None
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self.delay = delay
+        eid = env._eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, eid, self))
 
 
 class Initialize(Event):
@@ -162,11 +215,12 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self)
+        self._ok = True
+        eid = env._eid = env._eid + 1
+        heappush(env._queue, (env._now, eid, self))
 
 
 class Process(Event):
@@ -181,7 +235,10 @@ class Process(Event):
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError("Process requires a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = True
         self._generator = generator
         self._target: Optional[Event] = Initialize(env, self)
 
@@ -192,66 +249,71 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._value is not PENDING:  # already terminated
             return
-        if self._target is None:
+        target = self._target
+        if target is None:
             raise SimulationError("cannot interrupt a process before it starts")
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
-        interrupt_event.callbacks.append(self._resume)
-        # Bypass the regular waiting: stop listening to the old target.
-        target = self._target
-        if target is not None and target.callbacks is not None:
+        interrupt_event.callbacks = [self._resume]
+        # Bypass the regular waiting: stop listening to the old target (which
+        # may already be triggered -- scheduled but not yet processed).
+        callbacks = target.callbacks
+        if callbacks is not None and callbacks is not PROCESSED:
             try:
-                target.callbacks.remove(self._resume)
+                callbacks.remove(self._resume)
             except ValueError:
                 pass
         self.env._schedule(interrupt_event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
-        try:
-            if event._ok:
-                next_event = self._generator.send(event._value)
-            else:
-                # Propagate failures (or interrupts) into the generator.
-                exc = event._value
-                next_event = self._generator.throw(exc)
-        except StopIteration as stop:
-            self._target = None
-            self.env._active_process = None
-            if self._value is PENDING:
-                self._ok = True
-                self._value = stop.value
-                self.env._schedule(self)
-            return
-        except BaseException as exc:
-            self._target = None
-            self.env._active_process = None
-            if self._value is PENDING:
-                self._ok = False
-                self._value = exc
-                self.env._schedule(self)
-            else:  # pragma: no cover - defensive
-                raise
-            return
-        self.env._active_process = None
+        env = self.env
+        generator = self._generator
+        while True:
+            env._active_process = self
+            try:
+                if event._ok:
+                    next_event = generator.send(event._value)
+                else:
+                    # Propagate failures (or interrupts) into the generator.
+                    next_event = generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                env._active_process = None
+                if self._value is PENDING:
+                    self._ok = True
+                    self._value = stop.value
+                    env._schedule(self)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_process = None
+                if self._value is PENDING:
+                    self._ok = False
+                    self._value = exc
+                    env._schedule(self)
+                    return
+                raise  # pragma: no cover - defensive
+            env._active_process = None
 
-        if not isinstance(next_event, Event):
-            raise SimulationError(
-                f"process yielded a non-event: {next_event!r}"
-            )
-        self._target = next_event
-        if next_event.callbacks is None:
-            # Already processed -- resume immediately at the current time.
-            immediate = Event(self.env)
-            immediate._ok = next_event._ok
-            immediate._value = next_event._value
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate)
-        else:
-            next_event.callbacks.append(self._resume)
+            if not isinstance(next_event, Event):
+                raise SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+            callbacks = next_event.callbacks
+            self._target = next_event
+            if callbacks is None:
+                next_event.callbacks = [self._resume]
+                return
+            if callbacks is not PROCESSED:
+                callbacks.append(self._resume)
+                return
+            # Fast path: the yielded event was already processed -- resume
+            # synchronously at the current time instead of round-tripping an
+            # intermediate event through the heap.
+            event = next_event
 
 
 class _Condition(Event):
@@ -260,23 +322,30 @@ class _Condition(Event):
     __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = True
         self.events = list(events)
         self._count = 0
         if not self.events:
             self.succeed({})
             return
+        check = self._check
         for event in self.events:
-            if event.callbacks is None:
-                self._check(event)
+            callbacks = event.callbacks
+            if callbacks is PROCESSED:
+                check(event)
+            elif callbacks is None:
+                event.callbacks = [check]
             else:
-                event.callbacks.append(self._check)
+                callbacks.append(check)
 
     def _collect(self) -> dict:
         return {
             index: event._value
             for index, event in enumerate(self.events)
-            if event.triggered and event._ok
+            if event._value is not PENDING and event._ok
         }
 
     def _check(self, event: Event) -> None:  # pragma: no cover - overridden
@@ -289,7 +358,7 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             self.fail(event._value)
@@ -305,7 +374,7 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             self.fail(event._value)
@@ -318,7 +387,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
 
@@ -356,11 +425,8 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if event._scheduled:
-            return
-        event._scheduled = True
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, 0, self._eid, event))
+        eid = self._eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -368,13 +434,13 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("no more events")
-        when, _, _, event = heapq.heappop(self._queue)
+        when, _, event = heappop(queue)
         self._now = when
         callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
+        event.callbacks = PROCESSED
         if callbacks:
             for callback in callbacks:
                 callback(event)
@@ -385,12 +451,34 @@ class Environment:
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue is exhausted or ``until`` is reached."""
-        if until is not None and until < self._now:
+        # The per-event work of step() is inlined here: this loop is the
+        # single hottest piece of code in the whole simulator.
+        queue = self._queue
+        if until is None:
+            while queue:
+                when, _, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = PROCESSED
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                elif not event._ok:
+                    raise event._value
+            return
+        if until < self._now:
             raise SimulationError(f"until ({until}) lies in the past")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        while queue:
+            if queue[0][0] > until:
                 self._now = until
                 return
-            self.step()
-        if until is not None:
-            self._now = until
+            when, _, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = PROCESSED
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            elif not event._ok:
+                raise event._value
+        self._now = until

@@ -8,6 +8,11 @@ Two kinds of observation are needed throughout the simulator:
   occupancy, utilisation) -> :class:`TimeWeightedMonitor`.
 
 Both support ``reset()`` so measurements can exclude the warm-up phase.
+
+The monitors are read on every control-node report tick, so the expensive
+queries are incremental: extrema are maintained as running values at record
+time and percentile queries reuse one cached sorted copy of the samples
+(invalidated by the next ``record``) instead of re-sorting per call.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import math
 from typing import List, Optional
 
 __all__ = ["ValueMonitor", "TimeWeightedMonitor", "percentile_sorted"]
+
+_INF = float("inf")
 
 
 def percentile_sorted(data: List[float], q: float) -> float:
@@ -41,26 +48,40 @@ class ValueMonitor:
     """Streaming statistics over observed values.
 
     Keeps the raw samples (needed for percentiles in the experiment reports)
-    together with running sums for cheap mean/variance queries.
+    together with running sums and extrema for O(1) mean/variance/min/max
+    queries; percentile queries sort at most once per recorded sample.
     """
+
+    __slots__ = ("name", "samples", "_sum", "_sum_sq", "_min", "_max", "_sorted")
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[float] = []
         self._sum = 0.0
         self._sum_sq = 0.0
+        self._min = _INF
+        self._max = -_INF
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         """Add one observation."""
         self.samples.append(value)
         self._sum += value
         self._sum_sq += value * value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._sorted = None
 
     def reset(self) -> None:
         """Discard all observations (used at the end of warm-up)."""
         self.samples.clear()
         self._sum = 0.0
         self._sum_sq = 0.0
+        self._min = _INF
+        self._max = -_INF
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -84,17 +105,22 @@ class ValueMonitor:
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        """Smallest recorded value (0.0 when empty); running, O(1)."""
+        return self._min if self.samples else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        """Largest recorded value (0.0 when empty); running, O(1)."""
+        return self._max if self.samples else 0.0
 
     def percentile(self, q: float) -> float:
         """q-th percentile (0..100) using linear interpolation."""
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        return percentile_sorted(sorted(self.samples), q)
+        data = self._sorted
+        if data is None:
+            data = self._sorted = sorted(self.samples)
+        return percentile_sorted(data, q)
 
     def confidence_interval(self, level: float = 0.95) -> float:
         """Half-width of the normal-approximation confidence interval."""
@@ -107,6 +133,8 @@ class ValueMonitor:
 
 class TimeWeightedMonitor:
     """Time-weighted average of a piecewise-constant signal."""
+
+    __slots__ = ("env", "name", "_value", "_last_time", "_area", "_start_time", "_maximum")
 
     def __init__(self, env, initial: float = 0.0, name: str = ""):
         self.env = env
@@ -124,7 +152,7 @@ class TimeWeightedMonitor:
 
     def update(self, new_value: float) -> None:
         """Change the signal to ``new_value`` at the current time."""
-        now = self.env.now
+        now = self.env._now
         self._area += self._value * (now - self._last_time)
         self._last_time = now
         self._value = float(new_value)

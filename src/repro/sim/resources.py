@@ -16,15 +16,24 @@ All request-like events are context managers so the canonical usage is::
     with resource.request() as req:
         yield req
         yield env.timeout(service_time)
+
+Hot-path notes: resources maintain the invariant that live (non-cancelled)
+requests only wait in the queue while every server slot is taken, so
+``request()`` grants immediately without touching the queue whenever a slot
+is free.  Cancelled requests are discarded *lazily* when they surface at the
+queue head (O(1) per cancellation, instead of an O(n) scan-and-remove), and
+:class:`PriorityResource` keeps its queue as a heap ordered by
+``(priority, arrival)`` -- the exact tie-break order of the previous
+linear-scan implementation, so grant order is unchanged.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import PENDING, Environment, Event, SimulationError
 
 __all__ = ["Resource", "PriorityResource", "Request", "Container", "Store"]
 
@@ -35,10 +44,15 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_key", "cancelled")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.env)
+        # Inlined Event.__init__: requests are created on every CPU slice,
+        # disk I/O and network transfer.
+        self.env = resource.env
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = True
         self.resource = resource
         self.priority = priority
-        self._key = next(resource._counter)
+        self._key = resource._counter = resource._counter + 1
         self.cancelled = False
 
     # Context manager protocol: releases the slot on exit.
@@ -50,9 +64,11 @@ class Request(Event):
 
     def cancel(self) -> None:
         """Withdraw an ungranted request (no-op once granted)."""
-        if not self.triggered:
+        if self._value is PENDING and not self.cancelled:
             self.cancelled = True
-            self.resource._remove_from_queue(self)
+            # The request stays in the queue and is discarded when it
+            # surfaces at the head; only the live-waiter count drops now.
+            self.resource._queued -= 1
 
 
 class Resource:
@@ -70,29 +86,37 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.name = name
-        self.users: list[Request] = []
-        self.queue: deque[Request] = deque()
-        self._counter = itertools.count()
+        #: Requests currently holding a server slot (unordered; membership
+        #: and removal are O(1)).
+        self.users: set[Request] = set()
+        self.queue: Any = self._make_queue()
+        self._counter = 0
+        self._queued = 0  # live (non-cancelled) waiting requests
         # Utilisation accounting.
         self._busy_time = 0.0
         self._last_change = env.now
         self._busy_servers = 0
 
+    def _make_queue(self):
+        return deque()
+
     # -- accounting ------------------------------------------------------
     def _account(self) -> None:
-        now = self.env.now
-        self._busy_time += self._busy_servers * (now - self._last_change)
+        now = self.env._now
+        busy = self._busy_servers
+        if busy:
+            self._busy_time += busy * (now - self._last_change)
         self._last_change = now
 
     @property
     def count(self) -> int:
         """Number of servers currently in use."""
-        return len(self.users)
+        return self._busy_servers
 
     @property
     def queue_length(self) -> int:
-        """Number of requests still waiting."""
-        return len(self.queue)
+        """Number of requests still waiting (cancelled ones excluded)."""
+        return self._queued
 
     def busy_time(self) -> float:
         """Aggregate busy server-time accumulated so far."""
@@ -116,48 +140,58 @@ class Resource:
     def request(self, priority: int = 0) -> Request:
         """Request one server slot; the returned event triggers when granted."""
         req = Request(self, priority)
-        self._enqueue(req)
-        self._trigger_queue()
+        busy = self._busy_servers
+        if busy < self.capacity:
+            # Invariant: live requests only queue while all slots are taken,
+            # so a free slot means nobody may be granted before us.
+            now = self.env._now
+            if busy:
+                self._busy_time += busy * (now - self._last_change)
+            self._last_change = now
+            self.users.add(req)
+            self._busy_servers = busy + 1
+            req.succeed(self)
+        else:
+            self._queued += 1
+            self._enqueue(req)
         return req
 
     def release(self, request: Request) -> None:
         """Release a previously granted slot (ungranted requests are cancelled)."""
-        if request in self.users:
-            self._account()
+        try:
             self.users.remove(request)
-            self._busy_servers = len(self.users)
-            self._trigger_queue()
-        else:
+        except KeyError:
             request.cancel()
+            return
+        now = self.env._now
+        busy = self._busy_servers
+        self._busy_time += busy * (now - self._last_change)
+        self._last_change = now
+        self._busy_servers = busy - 1
+        if self.queue:
+            self._trigger_queue()
 
     def _enqueue(self, request: Request) -> None:
         self.queue.append(request)
 
-    def _remove_from_queue(self, request: Request) -> None:
-        try:
-            self.queue.remove(request)
-        except ValueError:
-            pass
-
-    def _next_request(self) -> Optional[Request]:
-        while self.queue:
-            req = self.queue[0]
-            if req.cancelled:
-                self.queue.popleft()
-                continue
-            return req
-        return None
-
     def _trigger_queue(self) -> None:
-        while len(self.users) < self.capacity:
-            req = self._next_request()
-            if req is None:
-                return
-            self.queue.popleft()
-            self._account()
-            self.users.append(req)
-            self._busy_servers = len(self.users)
-            req.succeed(self)
+        queue = self.queue
+        while self._busy_servers < self.capacity and queue:
+            req = queue.popleft()
+            if req.cancelled:
+                continue
+            self._queued -= 1
+            self._grant(req)
+
+    def _grant(self, req: Request) -> None:
+        now = self.env._now
+        busy = self._busy_servers
+        if busy:
+            self._busy_time += busy * (now - self._last_change)
+        self._last_change = now
+        self.users.add(req)
+        self._busy_servers = busy + 1
+        req.succeed(self)
 
 
 class PriorityResource(Resource):
@@ -166,32 +200,26 @@ class PriorityResource(Resource):
     Ties are broken FIFO via the per-resource request counter.  This is used
     for CPUs when OLTP transactions must take precedence over complex query
     work (see the paper's memory-adaptive join discussion, footnote 4).
+
+    The queue is a binary heap on ``(priority, arrival counter)``; grants pop
+    the minimum, which is exactly the request the previous linear scan
+    selected, so the service order is unchanged.
     """
 
-    def _enqueue(self, request: Request) -> None:
-        self.queue.append(request)
+    def _make_queue(self):
+        return []
 
-    def _next_request(self) -> Optional[Request]:
-        best: Optional[Request] = None
-        for req in self.queue:
-            if req.cancelled:
-                continue
-            if best is None or (req.priority, req._key) < (best.priority, best._key):
-                best = req
-        return best
+    def _enqueue(self, request: Request) -> None:
+        heappush(self.queue, (request.priority, request._key, request))
 
     def _trigger_queue(self) -> None:
-        while len(self.users) < self.capacity:
-            req = self._next_request()
-            if req is None:
-                # Drop cancelled leftovers to keep the queue short.
-                self.queue = deque(r for r in self.queue if not r.cancelled)
-                return
-            self.queue.remove(req)
-            self._account()
-            self.users.append(req)
-            self._busy_servers = len(self.users)
-            req.succeed(self)
+        queue = self.queue
+        while self._busy_servers < self.capacity and queue:
+            req = heappop(queue)[2]
+            if req.cancelled:
+                continue
+            self._queued -= 1
+            self._grant(req)
 
 
 class Container:
@@ -290,21 +318,22 @@ class Store:
         progress = True
         while progress:
             progress = False
-            while self._putters and len(self.items) < self.capacity:
+            items = self.items
+            while self._putters and len(items) < self.capacity:
                 event, item = self._putters.popleft()
-                self.items.append(item)
+                items.append(item)
                 event.succeed(item)
                 progress = True
-            if self._getters and self.items:
+            if self._getters and items:
                 event, filter_fn = self._getters[0]
                 found = None
                 if filter_fn is None:
-                    found = self.items.popleft()
+                    found = items.popleft()
                 else:
-                    for candidate in self.items:
+                    for candidate in items:
                         if filter_fn(candidate):
                             found = candidate
-                            self.items.remove(candidate)
+                            items.remove(candidate)
                             break
                 if found is not None:
                     self._getters.popleft()

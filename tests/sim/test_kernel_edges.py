@@ -1,0 +1,247 @@
+"""Edge semantics the hot-path overhaul must preserve.
+
+These pin the subtle kernel behaviours the PR 5 refactor (synchronous
+fast-path resume, lazy callback lists, heap-based priority queues, lazy
+request cancellation) is required to keep intact.
+"""
+
+import time
+
+from repro.sim import Environment, Interrupt, PriorityResource, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# interrupts racing triggered-but-unprocessed targets
+# ---------------------------------------------------------------------------
+
+def test_interrupt_of_process_whose_target_already_triggered():
+    """Interrupting a waiter whose target has *triggered* (scheduled, not yet
+    processed) must deliver the Interrupt and not the target's value."""
+    env = Environment()
+    log = []
+
+    def waiter():
+        event = env.event()
+        # Trigger now: the event sits in the heap, unprocessed.
+        event.succeed("target-value")
+        try:
+            value = yield event
+            log.append(("value", value))
+        except Interrupt as interrupt:
+            log.append(("interrupt", interrupt.cause))
+
+    def interrupter(process):
+        # Same simulated instant: the target is triggered but unprocessed
+        # when the interrupt lands.
+        process.interrupt("too-late")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    process = env.process(waiter())
+    env.process(interrupter(process))
+    env.run()
+    assert log == [("interrupt", "too-late")]
+
+
+def test_interrupted_process_can_wait_again():
+    """After an interrupt, yielding a fresh event must still work."""
+    env = Environment()
+    log = []
+
+    def waiter():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(1.0)
+        log.append(("resumed", env.now))
+
+    def interrupter(process):
+        yield env.timeout(2.0)
+        process.interrupt()
+
+    process = env.process(waiter())
+    env.process(interrupter(process))
+    env.run()
+    assert log == [("interrupted", 2.0), ("resumed", 3.0)]
+
+
+# ---------------------------------------------------------------------------
+# Request.cancel racing a grant
+# ---------------------------------------------------------------------------
+
+def test_cancel_after_grant_is_noop():
+    """Cancelling a request that was already granted must not free the slot."""
+    env = Environment()
+    server = Resource(env, capacity=1)
+
+    req = server.request()
+    assert req.triggered  # granted immediately
+    req.cancel()
+    assert not req.cancelled
+    assert server.count == 1
+    server.release(req)
+    assert server.count == 0
+
+
+def test_cancel_racing_grant_passes_slot_to_next_waiter():
+    """A queued request cancelled before the release that would grant it must
+    be skipped, and the slot must go to the next live waiter."""
+    env = Environment()
+    server = Resource(env, capacity=1)
+    log = []
+
+    holder = server.request()
+    doomed = server.request()
+    survivor = server.request()
+
+    def canceller():
+        yield env.timeout(1.0)
+        doomed.cancel()
+        server.release(holder)
+
+    def watcher():
+        yield survivor
+        log.append(("granted", env.now))
+        server.release(survivor)
+
+    env.process(canceller())
+    env.process(watcher())
+    env.run()
+    assert log == [("granted", 1.0)]
+    assert doomed.cancelled
+    assert not doomed.triggered
+    assert server.queue_length == 0
+
+
+def test_release_of_ungranted_request_cancels_it():
+    env = Environment()
+    server = Resource(env, capacity=1)
+    holder = server.request()
+    waiting = server.request()
+    assert server.queue_length == 1
+    server.release(waiting)  # context-manager exit path for ungranted requests
+    assert waiting.cancelled
+    assert server.queue_length == 0
+    server.release(holder)
+    assert server.count == 0
+
+
+# ---------------------------------------------------------------------------
+# PriorityResource: cancellation churn regression (satellite task)
+# ---------------------------------------------------------------------------
+
+def test_priority_cancellation_churn_preserves_grant_order():
+    """Cancel many queued requests and assert the survivors are granted in
+    exact (priority, arrival) order."""
+    env = Environment()
+    cpu = PriorityResource(env, capacity=1)
+    log = []
+
+    holder = cpu.request(priority=0)
+    requests = []
+    for index in range(200):
+        requests.append((index, cpu.request(priority=index % 3)))
+    # Cancel everything except one survivor per priority level.
+    survivors = {1: None, 2: None, 0: None}
+    for index, req in requests:
+        priority = index % 3
+        if survivors[priority] is None:
+            survivors[priority] = (index, req)
+        else:
+            req.cancel()
+
+    def consumer(index, req):
+        yield req
+        log.append(index)
+        cpu.release(req)
+
+    for priority in (0, 1, 2):
+        index, req = survivors[priority]
+        env.process(consumer(index, req))
+
+    def releaser():
+        yield env.timeout(1.0)
+        cpu.release(holder)
+
+    env.process(releaser())
+    env.run()
+    # Grant order: priority 0 first (arrival 0), then priority 1 (arrival 1),
+    # then priority 2 (arrival 2).
+    assert log == [0, 1, 2]
+    assert cpu.queue_length == 0
+
+
+def test_priority_cancellation_churn_not_quadratic():
+    """Queue/cancel N requests for growing N; the per-request cost must not
+    blow up quadratically (the old implementation rebuilt the whole queue on
+    every exhausted scan)."""
+
+    def churn(n: int) -> float:
+        env = Environment()
+        cpu = PriorityResource(env, capacity=1)
+        holder = cpu.request(priority=0)
+        start = time.perf_counter()
+        doomed = [cpu.request(priority=5) for _ in range(n)]
+        for req in doomed:
+            req.cancel()
+        cpu.release(holder)
+        env.run()
+        return time.perf_counter() - start
+
+    churn(500)  # warm-up
+    small = min(churn(1_000) for _ in range(3))
+    large = min(churn(8_000) for _ in range(3))
+    # 8x the requests: allow generous noise, but far below the ~64x of a
+    # quadratic implementation.
+    assert large < small * 32, (small, large)
+
+
+# ---------------------------------------------------------------------------
+# Store.get(filter_fn) head-of-line behaviour
+# ---------------------------------------------------------------------------
+
+def test_store_filtered_getter_blocks_later_getters():
+    """Getters are served strictly FIFO: a head-of-line getter whose filter
+    matches nothing blocks later getters even if their filters match."""
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def getter(name, filter_fn):
+        item = yield store.get(filter_fn)
+        log.append((name, item, env.now))
+
+    env.process(getter("picky", lambda item: item >= 100))
+    env.process(getter("easy", None))
+
+    def producer():
+        yield env.timeout(1.0)
+        yield store.put(1)  # matches "easy" only -- must NOT be delivered yet
+        yield env.timeout(1.0)
+        yield store.put(100)  # unblocks "picky"; then "easy" gets item 1
+
+    env.process(producer())
+    env.run()
+    assert log == [("picky", 100, 2.0), ("easy", 1, 2.0)]
+
+
+def test_store_filter_takes_first_match_not_head():
+    """A matching filter removes the first matching item, not the head."""
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def run():
+        yield store.put("a")
+        yield store.put("b")
+        yield store.put("c")
+        item = yield store.get(lambda i: i == "b")
+        log.append(item)
+        item = yield store.get()
+        log.append(item)
+
+    env.process(run())
+    env.run()
+    assert log == ["b", "a"]
+    assert list(store.items) == ["c"]

@@ -47,6 +47,25 @@ def test_value_monitor_reset():
     assert mon.mean == 0.0
 
 
+def test_value_monitor_running_extrema_survive_reset():
+    """minimum/maximum are running values; reset must re-arm them."""
+    mon = ValueMonitor()
+    mon.record(10.0)
+    mon.record(-5.0)
+    assert (mon.minimum, mon.maximum) == (-5.0, 10.0)
+    mon.reset()
+    assert (mon.minimum, mon.maximum) == (0.0, 0.0)  # empty convention
+    mon.record(3.0)
+    assert (mon.minimum, mon.maximum) == (3.0, 3.0)
+    mon.record(7.0)
+    mon.record(1.0)
+    assert (mon.minimum, mon.maximum) == (1.0, 7.0)
+    # Percentile cache invalidation across records.
+    assert mon.percentile(50) == 3.0
+    mon.record(9.0)
+    assert mon.percentile(100) == 9.0
+
+
 def test_value_monitor_confidence_interval_shrinks_with_samples():
     small = ValueMonitor()
     large = ValueMonitor()

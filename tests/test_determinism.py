@@ -1,0 +1,33 @@
+"""Golden-file determinism test for the kernel hot-path overhaul (PR 5).
+
+The golden CSV under ``tests/data/`` was exported with the pre-overhaul
+kernel; the refactored kernel must reproduce it byte for byte, at any worker
+count -- the PR's "no simulation outcome changes" guarantee, checked on every
+run.  Regenerate (only after an *intentional* outcome change) with::
+
+    PYTHONPATH=src python -m repro.cli experiment figure5 \
+        --sizes 10 --joins 8 --time-limit 40 --replicates 2 --workers 1 \
+        --no-cache --export csv --output tests/data/figure5_golden.csv
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "data" / "figure5_golden.csv"
+
+GOLDEN_ARGS = [
+    "experiment", "figure5",
+    "--sizes", "10", "--joins", "8", "--time-limit", "40",
+    "--replicates", "2", "--no-cache", "--export", "csv",
+]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_figure5_export_matches_golden(tmp_path, workers):
+    out = tmp_path / "figure5.csv"
+    code = main(GOLDEN_ARGS + ["--workers", str(workers), "--output", str(out)])
+    assert code == 0
+    assert out.read_bytes() == GOLDEN.read_bytes()

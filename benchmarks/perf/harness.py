@@ -15,17 +15,25 @@ harness measures
   skews later samples by 20 %+ on small VMs, which a per-sample process
   resets.  Speedups use the best (minimum) sample -- the standard
   noise-robust estimator on shared machines.
+* **scale sweep** (``--scale``) -- the PR 6 event-coalescing trajectory:
+  points at 80/160/320/640/1280 PEs, each sampled twice in fresh
+  subprocesses (``REPRO_COALESCE=1`` and ``=0``), recording wall-clock,
+  events/sec, peak RSS, the coalescing ratio (events simulated vs events
+  dispatched) and the resulting wall speedup into ``BENCH_PR6.json``.
 
 Results are written to ``BENCH_PR5.json`` at the repository root under a
 ``--label`` (``before``/``after``/anything): the file accumulates labels, so
 one JSON document carries the full before/after comparison and a computed
-``speedup`` section.  CI runs ``--quick`` and warn-only-compares events/sec
-against the committed floors in ``benchmarks/perf/baseline.json``.
+``speedup`` section.  CI runs ``--quick`` with ``--check-floor`` (microbench
+events/sec below the committed floors in ``benchmarks/perf/baseline.json``
+fail the job; figure wall times stay warn-only) plus a ``--scale --quick``
+smoke of the sweep.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/harness.py --label after
     PYTHONPATH=src python benchmarks/perf/harness.py --quick --check-floor
+    PYTHONPATH=src python benchmarks/perf/harness.py --scale
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from typing import Callable, Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_PR5.json"
+BENCH6_PATH = REPO_ROOT / "BENCH_PR6.json"
 FLOOR_PATH = Path(__file__).resolve().parent / "baseline.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -57,7 +66,7 @@ from repro.sim import (  # noqa: E402
     ValueMonitor,
 )
 
-__all__ = ["run_harness", "main", "MICROBENCHES"]
+__all__ = ["run_harness", "run_scale", "main", "MICROBENCHES", "SCALE_SIZES"]
 
 
 # --------------------------------------------------------------------------
@@ -303,6 +312,175 @@ def _time_figure_points(quick: bool, repeats: int) -> Dict[str, Dict[str, float]
 
 
 # --------------------------------------------------------------------------
+# scale sweep (PR 6): coalescing ratio / wall speedup / RSS vs system size
+# --------------------------------------------------------------------------
+
+#: PE counts for the scale sweep (the paper's figures stop at 80; the sweep
+#: pushes the same simulator toward the 1k-PE regime).
+SCALE_SIZES = (80, 160, 320, 640, 1280)
+SCALE_QUICK_SIZES = (80, 320)
+
+
+def _scale_points(quick: bool) -> List[Dict[str, object]]:
+    """The (PE count, workload kind) grid of the sweep.
+
+    * ``uncontended`` -- a lockstep fleet of PEs each looping a large CPU
+      burst, a sequential disk chain and a network transfer chain on
+      otherwise-idle hardware: the macro-event best case, where batches jump
+      straight to their ends.
+    * ``single_user`` -- the driver's closed-loop join workload with a fine
+      10k-instruction CPU quantum (0.5 ms slices), where per-quantum events
+      dominate the unbatched kernel.
+    * ``timeline`` -- an open multi-user windowed run: realistic contention,
+      where batches split often and the coalescing win is smallest.
+    """
+    points: List[Dict[str, object]] = []
+    for num_pe in SCALE_QUICK_SIZES if quick else SCALE_SIZES:
+        points.append({"kind": "uncontended", "num_pe": num_pe, "iterations": 3})
+        points.append(
+            {"kind": "single_user", "num_pe": num_pe, "num_queries": 3,
+             "quantum_instructions": 10_000}
+        )
+        points.append(
+            {"kind": "timeline", "num_pe": num_pe, "arrival_rate_per_pe": 0.02,
+             "duration": 4.0}
+        )
+    return points
+
+
+#: Executed with ``python -c`` per scale sample; reads the point payload on
+#: stdin, prints a JSON record on stdout.  The coalescing mode comes from
+#: ``REPRO_COALESCE`` in the child's environment, read at server construction.
+_SCALE_CHILD_SCRIPT = """\
+import json, resource, sys, time
+payload = json.loads(sys.stdin.read())
+kind, num_pe = payload["kind"], payload["num_pe"]
+extra = {}
+if kind == "uncontended":
+    from repro.config.parameters import CpuConfig, DiskConfig, InstructionCosts, NetworkConfig
+    from repro.hardware import CpuServer, DiskArray, Network
+    from repro.sim import Environment
+    env = Environment()
+    costs = InstructionCosts()
+    net = Network(env, NetworkConfig(), costs)
+    def add_pe(pe_id):
+        cpu = CpuServer(env, CpuConfig(), costs, pe_id=pe_id)
+        disks = DiskArray(env, DiskConfig(disks_per_pe=1), pe_id=pe_id)
+        def proc():
+            for _ in range(payload["iterations"]):
+                yield from cpu.consume(3_000_000)
+                yield from disks.read_sequential(120)
+                yield from net.transfer_chain([8192] * 8)
+        env.process(proc())
+    for pe in range(num_pe):
+        add_pe(pe)
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+else:
+    import dataclasses
+    from repro.experiments.scenarios import homogeneous_config
+    from repro.simulation.driver import SimulationDriver
+    config = homogeneous_config(
+        num_pe, arrival_rate_per_pe=payload.get("arrival_rate_per_pe", 0.25)
+    )
+    if payload.get("quantum_instructions"):
+        config = config.with_overrides(cpu=dataclasses.replace(
+            config.cpu, quantum_instructions=payload["quantum_instructions"]))
+    driver = SimulationDriver(config, strategy="OPT-IO-CPU")
+    start = time.perf_counter()
+    if kind == "single_user":
+        result = driver.run_single_user(num_queries=payload["num_queries"])
+    else:
+        result = driver.run_timed(payload["duration"], timeline_window=1.0)
+    wall = time.perf_counter() - start
+    env = driver.env
+    extra["joins_completed"] = result.joins_completed
+print(json.dumps({
+    "wall_s": wall,
+    "events_dispatched": env.events_dispatched,
+    "events_coalesced": env.events_coalesced,
+    "sim_seconds": env.now,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    **extra,
+}))
+"""
+
+
+def _run_scale_sample(payload: Dict[str, object], coalesce: bool,
+                      env: Dict[str, str], repeats: int) -> Dict[str, object]:
+    """Best-wall-clock sample of one (point, mode) pair in fresh subprocesses."""
+    child_env = dict(env)
+    child_env["REPRO_COALESCE"] = "1" if coalesce else "0"
+    best: Optional[Dict[str, object]] = None
+    for _ in range(repeats):
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCALE_CHILD_SCRIPT],
+            input=json.dumps(payload), capture_output=True, text=True, env=child_env,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"scale child failed:\n{proc.stderr}")
+        sample = json.loads(proc.stdout.splitlines()[-1])
+        if best is not None and sample["events_dispatched"] != best["events_dispatched"]:
+            raise RuntimeError(
+                f"scale point {payload} is non-deterministic across repeats: "
+                f"{sample['events_dispatched']} != {best['events_dispatched']} events"
+            )
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    assert best is not None
+    best["wall_s"] = round(best["wall_s"], 4)
+    return best
+
+
+def run_scale(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, object]:
+    """Run the PR 6 scale sweep and return the BENCH_PR6 document."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    sample_repeats = repeats or (1 if quick else 2)
+
+    points: List[Dict[str, object]] = []
+    for payload in _scale_points(quick):
+        on = _run_scale_sample(payload, True, env, sample_repeats)
+        off = _run_scale_sample(payload, False, env, sample_repeats)
+        dispatched = on["events_dispatched"]
+        simulated = dispatched + on["events_coalesced"]
+        record = {
+            **payload,
+            "coalesced": on,
+            "uncoalesced": off,
+            # events simulated vs events dispatched: how many heap pushes the
+            # macro-event layer elided within the coalesced run itself.
+            "coalescing_ratio": round(simulated / dispatched, 3),
+            # cross-mode reduction in dispatched events (off vs on).
+            "events_reduction": round(off["events_dispatched"] / dispatched, 3),
+            "wall_speedup": round(off["wall_s"] / on["wall_s"], 3),
+            "events_per_sec": round(dispatched / on["wall_s"], 1),
+        }
+        points.append(record)
+        print(
+            f"[scale] {payload['kind']:>12} @{payload['num_pe']:>5} PE: "
+            f"ratio {record['coalescing_ratio']:>6.2f}x, "
+            f"reduction {record['events_reduction']:>6.2f}x, "
+            f"speedup {record['wall_speedup']:>5.2f}x, "
+            f"{record['events_per_sec']:>11,.0f} ev/s, "
+            f"rss {on['ru_maxrss_kb'] / 1024:,.0f} MB"
+        )
+    return {
+        "schema": "repro-lb-scale/1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": list(SCALE_QUICK_SIZES if quick else SCALE_SIZES),
+        "points": points,
+    }
+
+
+# --------------------------------------------------------------------------
 # orchestration
 # --------------------------------------------------------------------------
 
@@ -383,22 +561,28 @@ def _speedups(runs: Dict[str, Dict[str, object]]) -> Dict[str, object]:
 
 
 def check_floor(document: Dict[str, object], floor_path: Path = FLOOR_PATH) -> List[str]:
-    """Warn-only comparison of events/sec against the committed floors."""
-    warnings: List[str] = []
+    """Compare microbench events/sec against the committed floors.
+
+    Returns the list of violations; the caller fails the run when any are
+    present.  Figure-point wall times are deliberately *not* floored -- they
+    depend on the host far more than the kernel-bound microbenches do and
+    stay warn-only via the speedup section.
+    """
+    violations: List[str] = []
     if not floor_path.exists():
         return [f"no baseline floor file at {floor_path}"]
     floors = json.loads(floor_path.read_text()).get("micro_events_per_sec_floor", {})
     for name, floor in floors.items():
         stats = document["micro"].get(name)
         if stats is None:
-            warnings.append(f"floor check: microbench {name!r} missing from this run")
+            violations.append(f"floor check: microbench {name!r} missing from this run")
             continue
         if stats["events_per_sec"] < floor:
-            warnings.append(
+            violations.append(
                 f"floor check: {name} at {stats['events_per_sec']:,.0f} events/s "
                 f"is below the committed floor of {floor:,.0f}"
             )
-    return warnings
+    return violations
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -411,22 +595,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override the per-benchmark repeat count")
     parser.add_argument("--skip-figures", action="store_true",
                         help="microbenchmarks only (no figure points)")
-    parser.add_argument("--output", default=str(BENCH_PATH),
-                        help="result JSON path (default: BENCH_PR5.json at the repo root)")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the PR 6 scale sweep instead, writing BENCH_PR6.json")
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: BENCH_PR5.json at the repo "
+                             "root, BENCH_PR6.json with --scale)")
     parser.add_argument("--check-floor", action="store_true",
-                        help="warn (exit 0) when events/sec fall below the committed floors")
+                        help="fail (exit 1) when microbench events/sec fall below "
+                             "the committed floors")
     args = parser.parse_args(argv)
+
+    if args.scale:
+        document = run_scale(quick=args.quick, repeats=args.repeats)
+        output = Path(args.output or BENCH6_PATH)
+        output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"[bench] wrote scale sweep to {output}")
+        return 0
 
     document = run_harness(
         args.label, quick=args.quick, repeats=args.repeats, skip_figures=args.skip_figures
     )
-    merged = _merge_and_write(document, Path(args.output))
-    print(f"[bench] wrote label {args.label!r} to {args.output}")
+    merged = _merge_and_write(document, Path(args.output or BENCH_PATH))
+    print(f"[bench] wrote label {args.label!r} to {args.output or BENCH_PATH}")
     for key, ratio in (merged.get("speedup", {}).get("figure_point_wall", {}) or {}).items():
         print(f"[speedup] {key}: {ratio:.2f}x")
     if args.check_floor:
-        for warning in check_floor(document):
-            print(f"::warning::{warning}")
+        violations = check_floor(document)
+        for violation in violations:
+            print(f"::error::{violation}")
+        if violations:
+            return 1
     return 0
 
 

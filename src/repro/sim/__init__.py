@@ -3,12 +3,16 @@
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    BatchHop,
+    BatchTimeout,
+    BatchWalk,
     Environment,
     Event,
     Interrupt,
     Process,
     SimulationError,
     Timeout,
+    coalescing_enabled,
 )
 from repro.sim.monitor import TimeWeightedMonitor, ValueMonitor
 from repro.sim.resources import Container, PriorityResource, Resource, Store
@@ -16,12 +20,16 @@ from repro.sim.resources import Container, PriorityResource, Resource, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchHop",
+    "BatchTimeout",
+    "BatchWalk",
     "Environment",
     "Event",
     "Interrupt",
     "Process",
     "SimulationError",
     "Timeout",
+    "coalescing_enabled",
     "Resource",
     "PriorityResource",
     "Container",

@@ -44,21 +44,36 @@ outcomes are byte-identical across the overhaul.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "SimulationError",
     "Interrupt",
     "Event",
     "Timeout",
+    "BatchTimeout",
+    "BatchHop",
+    "BatchWalk",
     "Process",
     "AllOf",
     "AnyOf",
     "Environment",
     "PENDING",
     "PROCESSED",
+    "coalescing_enabled",
 ]
+
+
+def coalescing_enabled() -> bool:
+    """True unless ``REPRO_COALESCE=0`` disables macro-event coalescing.
+
+    Hardware servers read this once at construction time, so a toggle applies
+    to newly built systems (the A/B comparisons in the perf harness and the
+    determinism tests run each mode in a fresh driver/subprocess).
+    """
+    return os.environ.get("REPRO_COALESCE", "1") != "0"
 
 
 class SimulationError(Exception):
@@ -85,7 +100,17 @@ class _Pending:
 
 
 class _Processed:
-    """Sentinel stored in ``Event.callbacks`` once the callbacks have run."""
+    """Sentinel stored in ``Event.callbacks`` once the callbacks have run.
+
+    The sentinel is *falsy*: a :class:`BatchTimeout` that was split leaves its
+    original heap entry behind, so the same event can surface in the run loop
+    twice.  The second pop sees ``callbacks is PROCESSED`` -- falsy -- and
+    (the event being successful) drops the entry without touching the
+    ``elif not event._ok`` error path, at zero cost to the hot loop.
+    """
+
+    def __bool__(self) -> bool:
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<PROCESSED>"
@@ -207,6 +232,197 @@ class Timeout(Event):
         self.delay = delay
         eid = env._eid = env._eid + 1
         heappush(env._queue, (env._now + delay, eid, self))
+
+
+class BatchTimeout(Event):
+    """A macro-event covering a coalesced run of uncontended micro-steps.
+
+    Unlike :class:`Timeout` it is scheduled at an *absolute* simulated time:
+    the caller computes the end of the batched run by folding the micro-step
+    durations with repeated float additions, so the end time is bit-identical
+    to the clock value the unbatched per-step loop would have reached.
+
+    With ``defer=True`` the event is *not* pushed onto the heap at creation;
+    the owning batch drives it through the :class:`BatchHop` protocol instead
+    and pushes it only when the hop cursor reaches the batch end (or on
+    :meth:`split`).  Deferral keeps the heap-entry *push moments* aligned with
+    the moments the unbatched loop would push its per-step timeouts, which is
+    what makes same-timestamp tie-breaking (event-id order) reproducible.
+
+    :meth:`split` is the deterministic preemption hook: when a competing
+    request arrives mid-batch, the batch owner charges the elapsed prefix of
+    the run and reschedules this event to the first micro-step boundary at or
+    after the arrival, where the remainder is requeued through the ordinary
+    per-step path.  A superseded heap entry is left in place; it is skipped
+    when popped because the event is already processed (see
+    :class:`_Processed`).
+    """
+
+    __slots__ = ("_when",)
+
+    def __init__(
+        self, env: "Environment", at: float, value: Any = None, defer: bool = False
+    ):
+        if at < env._now:
+            raise SimulationError(f"batch end {at} lies in the past (now={env._now})")
+        self.env = env
+        self.callbacks = None
+        self._value = value
+        self._ok = True
+        self._when = at
+        if not defer:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (at, eid, self))
+
+    @property
+    def when(self) -> float:
+        """Absolute time this event is (currently) scheduled to fire."""
+        return self._when
+
+    def split(self, at: float) -> None:
+        """Reschedule the macro-event to an earlier absolute time ``at``.
+
+        ``at`` must lie in ``[now, when]``.  A fresh heap entry is pushed (the
+        event id keeps same-time ordering consistent with an event scheduled
+        at the preemption instant); the old entry becomes a stale duplicate.
+        """
+        env = self.env
+        if self.callbacks is PROCESSED:
+            raise SimulationError("cannot split an already processed BatchTimeout")
+        if at > self._when:
+            raise SimulationError(f"split time {at} lies beyond the batch end {self._when}")
+        if at < env._now:
+            raise SimulationError(f"split time {at} lies in the past (now={env._now})")
+        self._when = at
+        eid = env._eid = env._eid + 1
+        heappush(env._queue, (at, eid, self))
+
+    def fire(self) -> None:
+        """Dispatch the deferred macro-event inline, at the caller's position.
+
+        Used by a preempted batch whose pending :class:`BatchHop` marker
+        already sits at the split boundary: the marker's heap entry holds
+        exactly the ``(time, eid)`` slot the unbatched per-step timeout
+        would occupy, so the wake must run at the marker's pop position.
+        Pushing a fresh entry (as :meth:`split` does) would give the wake a
+        *later* event id -- allocated at the preemption instant instead of
+        the step start -- and lose same-instant tie-breaks against events
+        scheduled in between.
+        """
+        env = self.env
+        if self.callbacks is PROCESSED:
+            raise SimulationError("cannot fire an already processed BatchTimeout")
+        self._when = env._now
+        callbacks = self.callbacks
+        self.callbacks = PROCESSED
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+_INF = float("inf")
+
+
+def _hop_dispatch(event: "Event") -> None:
+    """Advance a macro-event batch past the quiet stretch ahead of it.
+
+    Runs as the (sole) callback of a popped :class:`BatchHop` entry.  Hop
+    entries live in the environment's *marker heap* (``env._hops``), not in
+    the real event queue: they carry no simulation semantics, so the horizon
+    a batch may advance towards is the next **real** event -- other batches'
+    markers are transparent.  That is what lets a fleet of simultaneously
+    batched resources jump straight to their macro ends instead of
+    leap-frogging one another boundary by boundary, while each marker still
+    pops in exact ``(time, eid)`` order relative to real events (so a
+    boundary sharing an instant with a real event is realized at precisely
+    the pop position the unbatched release would occupy).
+    """
+    batch = event.batch
+    if batch._alive:
+        queue = event.env._queue
+        batch.hop(queue[0][0] if queue else _INF)
+
+
+class BatchHop(Event):
+    """Scheduling-only marker that walks a batch's micro-step boundaries.
+
+    A live batch keeps exactly one pending heap entry: either a ``BatchHop``
+    at an interior boundary or (once the cursor reaches the end) the
+    :class:`BatchTimeout` itself.  Each hop entry is pushed at the simulated
+    moment the unbatched loop would push the corresponding per-step timeout,
+    so event-id tie-breaking at equal timestamps is preserved exactly; when
+    the heap holds nothing before the batch end, the cursor jumps there in a
+    single hop and the interior boundaries cost nothing.
+
+    The owning batch object must provide ``_alive`` (False once split or
+    finished) and ``hop(horizon)`` (advance the cursor at least one boundary,
+    at most to ``horizon``, and push the follow-up entry).
+
+    Hop entries are scheduling metadata, not simulation events: they are
+    pushed onto the environment's separate marker heap (``env._hops``) so
+    that they never appear in another batch's horizon, while the run loop
+    still pops them in exact ``(time, eid)`` order relative to real events.
+    They *do* consume event ids -- each marker is pushed at the simulated
+    instant the unbatched loop would push the corresponding per-step
+    timeout, preserving same-instant tie-break positions.
+    """
+
+    __slots__ = ("batch",)
+
+    def __init__(self, env: "Environment", batch: Any, at: float):
+        self.env = env
+        self.callbacks = [_hop_dispatch]
+        self._value = None
+        self._ok = True
+        self.batch = batch
+        eid = env._eid = env._eid + 1
+        heappush(env._hops, (at, eid, self))
+
+
+class BatchWalk:
+    """Accounting-free batch over a precomputed ascending boundary fold.
+
+    For chains whose interior boundaries have *no observable side effects*
+    (e.g. back-to-back network transfers on an uncontended fabric): the
+    walker only preserves the heap-entry cadence of the unbatched loop --
+    each :class:`BatchHop` lands on a boundary, quiet stretches are crossed
+    in one jump, and the deferred :class:`BatchTimeout` fires at ``end``.
+
+    ``boundaries`` are the interior step ends (chain end excluded), computed
+    by the caller with the same float fold as the unbatched loop.
+    """
+
+    __slots__ = ("event", "boundaries", "hop_index", "hops", "_alive")
+
+    def __init__(self, env: "Environment", boundaries: List[float], end: float):
+        self.event = BatchTimeout(env, end, defer=True)
+        self.boundaries = boundaries
+        self.hop_index = 0
+        self.hops = 0
+        self._alive = True
+        if boundaries:
+            self.hops = 1
+            BatchHop(env, self, boundaries[0])
+        else:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (end, eid, self.event))
+
+    def hop(self, horizon: float) -> None:
+        """Advance at least one boundary, at most to ``horizon``."""
+        boundaries = self.boundaries
+        i = self.hop_index + 1
+        n = len(boundaries)
+        while i < n and boundaries[i] <= horizon:
+            i += 1
+        event = self.event
+        env = event.env
+        if i >= n:
+            eid = env._eid = env._eid + 1
+            heappush(env._queue, (event._when, eid, event))
+        else:
+            self.hop_index = i
+            self.hops += 1
+            BatchHop(env, self, boundaries[i])
 
 
 class Initialize(Event):
@@ -388,8 +604,26 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        #: Marker heap for :class:`BatchHop` entries -- popped in merged
+        #: ``(time, eid)`` order with ``_queue`` but kept apart so batch
+        #: cursors see only *real* events in their horizon.
+        self._hops: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Heap pushes *avoided* by macro-event coalescing (maintained by the
+        #: hardware batching layers; purely observational).
+        self.events_coalesced = 0
+
+    @property
+    def events_dispatched(self) -> int:
+        """Number of events actually pushed onto the heap so far.
+
+        Together with :attr:`events_coalesced` this yields the coalescing
+        ratio ``(dispatched + coalesced) / dispatched`` -- how many events the
+        equivalent unbatched run would have scheduled per event actually
+        dispatched.
+        """
+        return self._eid
 
     # -- clock -----------------------------------------------------------
     @property
@@ -430,14 +664,22 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        hops = self._hops
+        if queue:
+            return min(queue[0][0], hops[0][0]) if hops else queue[0][0]
+        return hops[0][0] if hops else float("inf")
 
     def step(self) -> None:
-        """Process the next scheduled event."""
+        """Process the next scheduled event (markers merged by ``(time, eid)``)."""
         queue = self._queue
-        if not queue:
+        hops = self._hops
+        if hops and (not queue or hops[0] < queue[0]):
+            when, _, event = heappop(hops)
+        elif queue:
+            when, _, event = heappop(queue)
+        else:
             raise SimulationError("no more events")
-        when, _, event = heappop(queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = PROCESSED
@@ -452,11 +694,17 @@ class Environment:
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue is exhausted or ``until`` is reached."""
         # The per-event work of step() is inlined here: this loop is the
-        # single hottest piece of code in the whole simulator.
+        # single hottest piece of code in the whole simulator.  Batch-hop
+        # markers live in their own heap and are merged by (time, eid);
+        # the empty-`hops` check is one truthiness test in the common case.
         queue = self._queue
+        hops = self._hops
         if until is None:
-            while queue:
-                when, _, event = heappop(queue)
+            while queue or hops:
+                if hops and (not queue or hops[0] < queue[0]):
+                    when, _, event = heappop(hops)
+                else:
+                    when, _, event = heappop(queue)
                 self._now = when
                 callbacks = event.callbacks
                 event.callbacks = PROCESSED
@@ -468,11 +716,16 @@ class Environment:
             return
         if until < self._now:
             raise SimulationError(f"until ({until}) lies in the past")
-        while queue:
-            if queue[0][0] > until:
+        while queue or hops:
+            if hops and (not queue or hops[0] < queue[0]):
+                source = hops
+            else:
+                source = queue
+            when = source[0][0]
+            if when > until:
                 self._now = until
                 return
-            when, _, event = heappop(queue)
+            _, _, event = heappop(source)
             self._now = when
             callbacks = event.callbacks
             event.callbacks = PROCESSED

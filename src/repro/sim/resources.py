@@ -30,12 +30,15 @@ linear-scan implementation, so grant order is unchanged.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.core import PENDING, Environment, Event, SimulationError
 
 __all__ = ["Resource", "PriorityResource", "Request", "Container", "Store"]
+
+#: Cancelled-entry count past which a queue is eligible for compaction.
+_COMPACT_THRESHOLD = 32
 
 
 class Request(Event):
@@ -68,7 +71,14 @@ class Request(Event):
             self.cancelled = True
             # The request stays in the queue and is discarded when it
             # surfaces at the head; only the live-waiter count drops now.
-            self.resource._queued -= 1
+            resource = self.resource
+            resource._queued -= 1
+            cancelled = resource._cancelled = resource._cancelled + 1
+            # Churn guard: once enough dead entries accumulate *and* they
+            # dominate the queue, compact it in one pass so heap pushes stay
+            # O(log live) instead of O(log total) under cancellation storms.
+            if cancelled >= _COMPACT_THRESHOLD and cancelled * 2 >= len(resource.queue):
+                resource._compact()
 
 
 class Resource:
@@ -92,16 +102,31 @@ class Resource:
         self.queue: Any = self._make_queue()
         self._counter = 0
         self._queued = 0  # live (non-cancelled) waiting requests
+        self._cancelled = 0  # dead entries still sitting in the queue
         # Utilisation accounting.
         self._busy_time = 0.0
         self._last_change = env.now
         self._busy_servers = 0
+        #: Active macro-event batch virtualising this resource (see the
+        #: hardware coalescing layers); None outside a batched run.
+        self._batch: Any = None
 
     def _make_queue(self):
         return deque()
 
+    def _compact(self) -> None:
+        """Drop cancelled entries from the queue in one pass (FIFO order kept)."""
+        self.queue = deque(req for req in self.queue if not req.cancelled)
+        self._cancelled = 0
+
     # -- accounting ------------------------------------------------------
     def _account(self) -> None:
+        batch = self._batch
+        if batch is not None:
+            # An observer is about to read the accounting mid-batch: replay
+            # the micro-step boundaries the unbatched run would already have
+            # processed so the float sums are bit-identical.
+            batch.sync(self.env._now)
         now = self.env._now
         busy = self._busy_servers
         if busy:
@@ -139,6 +164,12 @@ class Resource:
     # -- queueing --------------------------------------------------------
     def request(self, priority: int = 0) -> Request:
         """Request one server slot; the returned event triggers when granted."""
+        batch = self._batch
+        if batch is not None:
+            # A competing request arrived mid-batch: charge the elapsed
+            # prefix of the macro-event and split it on the next micro-step
+            # boundary, then proceed against the (now exact) resource state.
+            batch.preempt()
         req = Request(self, priority)
         busy = self._busy_servers
         if busy < self.capacity:
@@ -179,6 +210,7 @@ class Resource:
         while self._busy_servers < self.capacity and queue:
             req = queue.popleft()
             if req.cancelled:
+                self._cancelled -= 1
                 continue
             self._queued -= 1
             self._grant(req)
@@ -212,11 +244,24 @@ class PriorityResource(Resource):
     def _enqueue(self, request: Request) -> None:
         heappush(self.queue, (request.priority, request._key, request))
 
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        The heap is ordered by ``(priority, arrival counter)`` tuples, which
+        are unique per request, so rebuilding from the surviving entries
+        yields exactly the same grant order.
+        """
+        queue = [entry for entry in self.queue if not entry[2].cancelled]
+        heapify(queue)
+        self.queue = queue
+        self._cancelled = 0
+
     def _trigger_queue(self) -> None:
         queue = self.queue
         while self._busy_servers < self.capacity and queue:
             req = heappop(queue)[2]
             if req.cancelled:
+                self._cancelled -= 1
                 continue
             self._queued -= 1
             self._grant(req)

@@ -1,9 +1,13 @@
-"""Golden-file determinism test for the kernel hot-path overhaul (PR 5).
+"""Golden-file determinism tests for the kernel overhauls (PR 5 / PR 6).
 
 The golden CSV under ``tests/data/`` was exported with the pre-overhaul
 kernel; the refactored kernel must reproduce it byte for byte, at any worker
 count -- the PR's "no simulation outcome changes" guarantee, checked on every
-run.  Regenerate (only after an *intentional* outcome change) with::
+run.  PR 6 extends the pin: the event-coalescing layer must be invisible,
+so the export is also byte-identical with coalescing disabled
+(``REPRO_COALESCE=0``), and a dynamic timeline run agrees field for field
+between the two modes.  Regenerate (only after an *intentional* outcome
+change) with::
 
     PYTHONPATH=src python -m repro.cli experiment figure5 \
         --sizes 10 --joins 8 --time-limit 40 --replicates 2 --workers 1 \
@@ -31,3 +35,30 @@ def test_figure5_export_matches_golden(tmp_path, workers):
     code = main(GOLDEN_ARGS + ["--workers", str(workers), "--output", str(out)])
     assert code == 0
     assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_figure5_export_identical_with_coalescing_off(tmp_path, monkeypatch):
+    """Macro-event coalescing must not change any simulation outcome."""
+    monkeypatch.setenv("REPRO_COALESCE", "0")
+    out = tmp_path / "figure5_uncoalesced.csv"
+    code = main(GOLDEN_ARGS + ["--workers", "1", "--output", str(out)])
+    assert code == 0
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_dynamic_timeline_identical_with_coalescing_off(monkeypatch):
+    """A windowed (dynamic) run agrees field for field between modes --
+    coalescing must be invisible to open-workload timelines, not just to
+    the closed figure sweeps."""
+    from repro.experiments.scenarios import homogeneous_config
+    from repro.simulation.driver import SimulationDriver
+
+    def run():
+        config = homogeneous_config(4, seed=42)
+        driver = SimulationDriver(config, strategy="OPT-IO-CPU")
+        return driver.run_timed(10.0, timeline_window=2.0).to_dict()
+
+    batched = run()
+    monkeypatch.setenv("REPRO_COALESCE", "0")
+    unbatched = run()
+    assert batched == unbatched

@@ -95,6 +95,42 @@ def test_cpu_windowed_utilization():
     assert cpu.recent_utilization == pytest.approx(0.0)
 
 
+def test_cpu_overfull_window_is_logged_not_hidden(caplog):
+    """A windowed utilisation beyond 1.0 means the busy-time accounting
+    double-counted; it must be reported loudly, not silently clamped."""
+    import logging
+
+    env = Environment()
+    cpu = CpuServer(env, CpuConfig(mips=20), InstructionCosts())
+
+    def work():
+        yield from cpu.consume(100_000)
+
+    env.process(work())
+    env.run(until=0.010)
+    # Simulate a double-count: pretend the window started with less busy
+    # time than was actually accumulated before it.
+    cpu._window_start_busy = -0.010
+    with caplog.at_level(logging.WARNING, logger="repro.hardware.cpu"):
+        utilization = cpu.close_window()
+    assert utilization == 1.0  # still clamped for downstream consumers
+    assert any("exceeds 1.0" in record.message for record in caplog.records)
+
+    # Rounding-level excursions stay quiet.
+    env.run(until=0.020)
+
+    def work2():
+        yield from cpu.consume(200_000)
+
+    env.process(work2())
+    env.run(until=0.030)
+    cpu._window_start_busy -= 1e-12  # sub-slack nudge over the boundary
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.hardware.cpu"):
+        cpu.close_window()
+    assert not caplog.records
+
+
 # -- LRU cache -------------------------------------------------------------------
 def test_lru_cache_hit_and_miss():
     cache = LruCache(capacity=2)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, Set
+from typing import Deque, Dict
 
 from repro.sim import Environment, Event
 
@@ -60,7 +60,12 @@ class LockManager:
         self.pe_id = pe_id
         self.deadlock_detector = deadlock_detector
         self._table: Dict[object, _LockEntry] = {}
-        self._held_by_txn: Dict[int, Set[object]] = {}
+        # Resources held per transaction, as an insertion-ordered dict used as
+        # an ordered set: release_all must walk (and wake waiters) in lock
+        # acquisition order.  Resource keys contain strings, so a plain set's
+        # iteration order would vary with PYTHONHASHSEED and make mixed
+        # OLTP workloads (Fig. 9) irreproducible across interpreter runs.
+        self._held_by_txn: Dict[int, Dict[object, None]] = {}
         self.acquired = 0
         self.waited = 0
         self.aborts = 0
@@ -114,13 +119,13 @@ class LockManager:
         current = entry.holders.get(txn_id)
         if current is None or mode is LockMode.EXCLUSIVE:
             entry.holders[txn_id] = mode
-        self._held_by_txn.setdefault(txn_id, set()).add(resource)
+        self._held_by_txn.setdefault(txn_id, {})[resource] = None
         self.acquired += 1
 
     # -- release ----------------------------------------------------------------
     def release_all(self, txn_id: int) -> None:
         """Release every lock held by ``txn_id`` (commit or abort time)."""
-        resources = self._held_by_txn.pop(txn_id, set())
+        resources = self._held_by_txn.pop(txn_id, ())
         if self.deadlock_detector is not None:
             self.deadlock_detector.remove_transaction(txn_id)
         for resource in resources:

@@ -14,6 +14,10 @@ change) with::
         --no-cache --export csv --output tests/data/figure5_golden.csv
 """
 
+import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -62,3 +66,69 @@ def test_dynamic_timeline_identical_with_coalescing_off(monkeypatch):
     monkeypatch.setenv("REPRO_COALESCE", "0")
     unbatched = run()
     assert batched == unbatched
+
+
+def _run_figure9_mixed_point():
+    """One small Fig. 9b-style point: OLTP on the B nodes preempting joins."""
+    from repro.experiments import figure9
+
+    experiment = figure9.run(
+        oltp_placement="B",
+        system_sizes=(10,),
+        strategies=("OPT-IO-CPU",),
+        measured_joins=6,
+        max_simulated_time=20.0,
+        workers=1,
+    )
+    return experiment.value("OPT-IO-CPU", 10).result.to_dict()
+
+
+def test_figure9_mixed_point_identical_with_coalescing_off(monkeypatch):
+    """Mixed OLTP+join workloads exercise the OLTP-preemption split/relay
+    path of the coalescing layer, which neither the figure5 sweep nor the
+    timeline scenario reaches -- pin batched == unbatched there too."""
+    batched = _run_figure9_mixed_point()
+    monkeypatch.setenv("REPRO_COALESCE", "0")
+    unbatched = _run_figure9_mixed_point()
+    assert batched == unbatched
+
+
+_HASH_SEED_SCRIPT = """\
+import json
+from repro.experiments import figure9
+
+experiment = figure9.run(
+    oltp_placement="B",
+    system_sizes=(10,),
+    strategies=("OPT-IO-CPU",),
+    measured_joins=6,
+    max_simulated_time=20.0,
+    workers=1,
+)
+print(json.dumps(experiment.value("OPT-IO-CPU", 10).result.to_dict(), sort_keys=True))
+"""
+
+
+def test_figure9_mixed_point_invariant_under_hash_randomisation():
+    """Simulation outcomes must not depend on PYTHONHASHSEED (regression:
+    LockManager tracked each transaction's held locks in a set keyed by
+    string-bearing tuples, so commit-time release -- and with it the waiter
+    wake-up order of conflicting OLTP transactions -- followed the
+    interpreter's string-hash order, making the Fig. 9 mixed-workload tables
+    vary from run to run)."""
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parent.parent)
+    outputs = []
+    for seed in ("0", "1"):
+        env["PYTHONHASHSEED"] = seed
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASH_SEED_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1]

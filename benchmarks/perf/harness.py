@@ -20,6 +20,12 @@ harness measures
   subprocesses (``REPRO_COALESCE=1`` and ``=0``), recording wall-clock,
   events/sec, peak RSS, the coalescing ratio (events simulated vs events
   dispatched) and the resulting wall speedup into ``BENCH_PR6.json``.
+  PR 7 adds two heterogeneous-hardware kinds per size: ``hetero_default``
+  (explicitly-default node classes -- simulation outcomes identical to the
+  uniform ``timeline`` point, so its wall ratio against that point tracks
+  the overhead the heterogeneity layer adds to *uniform* configs; target
+  < 5 %) and ``heterogeneous`` (a real fast/slow mix on a 4-rack
+  interconnect, the mixed-hardware scaling point proper).
 
 Results are written to ``BENCH_PR5.json`` at the repository root under a
 ``--label`` (``before``/``after``/anything): the file accumulates labels, so
@@ -333,6 +339,12 @@ def _scale_points(quick: bool) -> List[Dict[str, object]]:
       dominate the unbatched kernel.
     * ``timeline`` -- an open multi-user windowed run: realistic contention,
       where batches split often and the coalescing win is smallest.
+    * ``hetero_default`` -- the ``timeline`` workload on a config declaring
+      an explicitly-*default* node class: outcomes are identical to the
+      uniform point, so the wall ratio between the two is the heterogeneity
+      layer's overhead on uniform configs (< 5 % target).
+    * ``heterogeneous`` -- the ``timeline`` workload on a real fast/slow mix
+      (half the PEs at 2x MIPS/memory) over a 4-rack interconnect.
     """
     points: List[Dict[str, object]] = []
     for num_pe in SCALE_QUICK_SIZES if quick else SCALE_SIZES:
@@ -341,10 +353,11 @@ def _scale_points(quick: bool) -> List[Dict[str, object]]:
             {"kind": "single_user", "num_pe": num_pe, "num_queries": 3,
              "quantum_instructions": 10_000}
         )
-        points.append(
-            {"kind": "timeline", "num_pe": num_pe, "arrival_rate_per_pe": 0.02,
-             "duration": 4.0}
-        )
+        for kind in ("timeline", "hetero_default", "heterogeneous"):
+            points.append(
+                {"kind": kind, "num_pe": num_pe, "arrival_rate_per_pe": 0.02,
+                 "duration": 4.0}
+            )
     return points
 
 
@@ -387,6 +400,17 @@ else:
     if payload.get("quantum_instructions"):
         config = config.with_overrides(cpu=dataclasses.replace(
             config.cpu, quantum_instructions=payload["quantum_instructions"]))
+    if kind == "hetero_default":
+        from repro.config.parameters import NodeClass
+        config = config.with_overrides(
+            node_classes=(NodeClass(name="plain", fraction=1.0),))
+    elif kind == "heterogeneous":
+        from repro.config.parameters import NodeClass, TopologyConfig
+        config = config.with_overrides(
+            node_classes=(NodeClass(name="fast", fraction=0.5,
+                                    mips_factor=2.0, memory_factor=2.0),),
+            topology=TopologyConfig(racks=4, cross_rack_latency_factor=8.0,
+                                    cross_rack_bandwidth_factor=2.0))
     driver = SimulationDriver(config, strategy="OPT-IO-CPU")
     start = time.perf_counter()
     if kind == "single_user":
@@ -470,6 +494,26 @@ def run_scale(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, o
             f"{record['events_per_sec']:>11,.0f} ev/s, "
             f"rss {on['ru_maxrss_kb'] / 1024:,.0f} MB"
         )
+    # Heterogeneity-layer overhead on uniform configs: the hetero_default
+    # point runs the exact same simulation as the uniform timeline point,
+    # so any wall-clock gap is pure config/accessor overhead (< 5 % target,
+    # tracked per size; single-sample CI runs are noisy, so this records
+    # rather than fails).
+    walls = {
+        (record["kind"], record["num_pe"]): record["coalesced"]["wall_s"]
+        for record in points
+    }
+    hetero_overhead: Dict[str, float] = {}
+    for num_pe in SCALE_QUICK_SIZES if quick else SCALE_SIZES:
+        base = walls.get(("timeline", num_pe))
+        twin = walls.get(("hetero_default", num_pe))
+        if base and twin:
+            overhead = twin / base - 1.0
+            hetero_overhead[str(num_pe)] = round(overhead, 4)
+            print(
+                f"[scale] hetero-default overhead @{num_pe:>5} PE: "
+                f"{overhead:+.1%} (target < 5%)"
+            )
     return {
         "schema": "repro-lb-scale/1",
         "quick": quick,
@@ -477,6 +521,7 @@ def run_scale(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, o
         "machine": platform.machine(),
         "sizes": list(SCALE_QUICK_SIZES if quick else SCALE_SIZES),
         "points": points,
+        "hetero_default_overhead": hetero_overhead,
     }
 
 

@@ -237,6 +237,25 @@ def build_parser() -> argparse.ArgumentParser:
             "explicit values on the perturbed axis)"
         ),
     )
+    sweep.add_argument(
+        "--node-class", dest="node_classes", action="append", default=[],
+        metavar="NAME=SIZE[:ATTR=FACTOR...]",
+        help=(
+            "declare a hardware class covering SIZE PEs (a count, or a fraction "
+            "< 1) with scaled resources, e.g. --node-class fast=0.5:mips=2.0"
+            ":memory=2.0 (attrs: mips, memory, disk; repeatable -- classes fill "
+            "contiguous PE blocks from PE 0, remaining PEs keep the baseline)"
+        ),
+    )
+    sweep.add_argument(
+        "--topology", default=None,
+        metavar="KEY=VALUE[:KEY=VALUE...]",
+        help=(
+            "tiered interconnect, e.g. --topology racks=4:inter_latency=8.0"
+            ":inter_bandwidth=2.0 (keys: racks, regions, inter_latency, "
+            "inter_bandwidth, region_latency, region_bandwidth)"
+        ),
+    )
     _add_runner_arguments(sweep)
 
     dispatch = sub.add_parser(
@@ -588,6 +607,78 @@ def _with_trace_digest(params: tuple) -> tuple:
     return params + (("file_sha256", digest),)
 
 
+#: Short ``--node-class`` attribute names -> :class:`NodeClass` fields.
+_NODE_CLASS_ATTRS = {
+    "mips": "mips_factor",
+    "memory": "memory_factor",
+    "disk": "disk_factor",
+}
+
+#: Short ``--topology`` keys -> :class:`TopologyConfig` fields (integer
+#: tier counts keep int values, factors become floats).
+_TOPOLOGY_KEYS = {
+    "racks": ("racks", int),
+    "regions": ("regions", int),
+    "inter_latency": ("cross_rack_latency_factor", float),
+    "inter_bandwidth": ("cross_rack_bandwidth_factor", float),
+    "region_latency": ("cross_region_latency_factor", float),
+    "region_bandwidth": ("cross_region_bandwidth_factor", float),
+}
+
+
+def _parse_node_class(text: str) -> tuple:
+    """``NAME=SIZE[:ATTR=FACTOR...]`` -> one encoded node-class tuple.
+
+    SIZE below 1 is a PE fraction, otherwise a PE count; attributes are the
+    short names of :data:`_NODE_CLASS_ATTRS`.
+    """
+    head, *attrs = text.split(":")
+    name, sep, raw_size = head.partition("=")
+    if not sep or not name:
+        raise SystemExit(
+            f"invalid --node-class {text!r} (expected NAME=SIZE[:ATTR=FACTOR...])"
+        )
+    try:
+        size = float(raw_size)
+    except ValueError:
+        raise SystemExit(f"invalid --node-class size {raw_size!r}") from None
+    fields = [("name", name)]
+    if size < 1.0:
+        fields.append(("fraction", size))
+    else:
+        fields.append(("count", int(size)))
+    for attr in attrs:
+        key, sep, raw = attr.partition("=")
+        if not sep or key not in _NODE_CLASS_ATTRS:
+            raise SystemExit(
+                f"invalid --node-class attribute {attr!r} "
+                f"(expected one of {sorted(_NODE_CLASS_ATTRS)})"
+            )
+        try:
+            fields.append((_NODE_CLASS_ATTRS[key], float(raw)))
+        except ValueError:
+            raise SystemExit(f"invalid --node-class factor {raw!r}") from None
+    return tuple(fields)
+
+
+def _parse_topology(text: str) -> tuple:
+    """``KEY=VALUE[:KEY=VALUE...]`` -> one encoded topology tuple."""
+    fields = []
+    for part in text.split(":"):
+        key, sep, raw = part.partition("=")
+        if not sep or key not in _TOPOLOGY_KEYS:
+            raise SystemExit(
+                f"invalid --topology key {part!r} "
+                f"(expected one of {sorted(_TOPOLOGY_KEYS)})"
+            )
+        field, convert = _TOPOLOGY_KEYS[key]
+        try:
+            fields.append((field, convert(raw)))
+        except ValueError:
+            raise SystemExit(f"invalid --topology value {raw!r}") from None
+    return tuple(fields)
+
+
 def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
     scenario = "mixed" if args.oltp else args.scenario
     rates = tuple(args.rates) if args.rates else (None,)
@@ -611,6 +702,16 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         x_axis, series = "rate", series.replace(" @{rate:g} QPS/PE", "")
     if arrival is not None:
         series += " [{arrival}]"
+    node_classes_entry = (
+        tuple(_parse_node_class(text) for text in args.node_classes)
+        if args.node_classes
+        else None
+    )
+    topology_entry = _parse_topology(args.topology) if args.topology else None
+    if node_classes_entry is not None:
+        series += " [{nodes}]"
+    if topology_entry is not None:
+        series += " {topology}"
 
     arrival_params = tuple(_parse_arrival_param(text) for text in args.arrival_params)
     if arrival == "trace":
@@ -631,6 +732,8 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
             arrival_params=arrival_params,
             timeline_window=args.timeline_window if timeline else None,
             perturb=tuple(_parse_float_pair(text, "--perturb") for text in args.perturb),
+            node_classes=(node_classes_entry,),
+            topologies=(topology_entry,),
         )
     except ValueError as exc:
         raise SystemExit(f"invalid sweep: {exc}") from None
@@ -649,6 +752,12 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         axes.append(f"oltp={args.oltp}")
     if arrival is not None:
         axes.append(f"arrival={arrival}")
+    if node_classes_entry is not None:
+        axes.append(
+            "classes=" + "+".join(dict(cls)["name"] for cls in node_classes_entry)
+        )
+    if topology_entry is not None:
+        axes.append(f"topology={dict(topology_entry).get('racks', 1)} racks")
     from repro.experiments.dynamic import render_timeline_table
 
     return ScenarioSpec(

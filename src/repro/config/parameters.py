@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 __all__ = [
     "InstructionCosts",
@@ -21,6 +21,8 @@ __all__ = [
     "DiskConfig",
     "BufferConfig",
     "NetworkConfig",
+    "NodeClass",
+    "TopologyConfig",
     "RelationConfig",
     "JoinQueryConfig",
     "OltpConfig",
@@ -215,6 +217,147 @@ class OltpConfig:
 
 
 @dataclass(frozen=True)
+class NodeClass:
+    """A hardware class covering a contiguous block of PEs.
+
+    Classes scale the uniform Fig. 4 baseline: ``mips_factor`` multiplies the
+    CPU speed, ``memory_factor`` the buffer pool size, and ``disk_factor`` the
+    disk/controller *speed* (2.0 halves every per-page and access time).  A
+    class covers either an absolute ``count`` of PEs or a ``fraction`` of the
+    system; classes claim contiguous blocks starting at PE 0 in declaration
+    order, and any remaining PEs keep the unscaled default hardware.  A class
+    whose factors are all 1.0 is indistinguishable from the default.
+    """
+
+    name: str
+    count: Optional[int] = None
+    fraction: Optional[float] = None
+    mips_factor: float = 1.0
+    memory_factor: float = 1.0
+    disk_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node class needs a non-empty name")
+        if (self.count is None) == (self.fraction is None):
+            raise ValueError(f"node class {self.name!r}: give exactly one of count/fraction")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"node class {self.name!r}: count must be >= 1")
+        if self.fraction is not None and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"node class {self.name!r}: fraction must be in (0, 1]")
+        for label in ("mips_factor", "memory_factor", "disk_factor"):
+            if getattr(self, label) <= 0.0:
+                raise ValueError(f"node class {self.name!r}: {label} must be > 0")
+
+    @property
+    def is_default_hardware(self) -> bool:
+        """True when the class does not alter any resource."""
+        return self.mips_factor == 1.0 and self.memory_factor == 1.0 and self.disk_factor == 1.0
+
+    def resolve_count(self, num_pe: int) -> int:
+        """PEs covered by this class in a system of ``num_pe`` nodes."""
+        if self.count is not None:
+            return min(self.count, num_pe)
+        return min(num_pe, max(1, round(num_pe * self.fraction)))
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Tiered interconnect topology: racks grouped into regions.
+
+    PEs map onto racks (and racks onto regions) as contiguous blocks.  A
+    message between two PEs is charged per tier: same rack keeps the flat
+    Fig. 4 wire parameters, crossing racks multiplies the per-packet latency
+    by ``cross_rack_latency_factor`` and divides the bandwidth by
+    ``cross_rack_bandwidth_factor`` (factors >= 1 slow the wire down), and
+    crossing regions uses the ``cross_region_*`` factors.  The default is a
+    single rack, which is bit-identical to the historical flat interconnect.
+    """
+
+    racks: int = 1
+    regions: int = 1
+    cross_rack_latency_factor: float = 1.0
+    cross_rack_bandwidth_factor: float = 1.0
+    cross_region_latency_factor: float = 1.0
+    cross_region_bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.racks < 1:
+            raise ValueError("topology needs at least one rack")
+        if self.regions < 1:
+            raise ValueError("topology needs at least one region")
+        if self.regions > self.racks:
+            raise ValueError("cannot have more regions than racks")
+        for label in (
+            "cross_rack_latency_factor",
+            "cross_rack_bandwidth_factor",
+            "cross_region_latency_factor",
+            "cross_region_bandwidth_factor",
+        ):
+            if getattr(self, label) <= 0.0:
+                raise ValueError(f"topology {label} must be > 0")
+
+    @property
+    def is_flat(self) -> bool:
+        """True when every (src, dst) pair sees the uniform wire."""
+        if self.racks <= 1:
+            return True
+        if self.cross_rack_latency_factor != 1.0 or self.cross_rack_bandwidth_factor != 1.0:
+            return False
+        if self.regions <= 1:
+            return True
+        return (
+            self.cross_region_latency_factor == 1.0
+            and self.cross_region_bandwidth_factor == 1.0
+        )
+
+    @property
+    def tiers(self) -> int:
+        """Number of distinct communication tiers (1, 2, or 3)."""
+        if self.racks <= 1:
+            return 1
+        return 3 if self.regions > 1 else 2
+
+    def rack_of(self, pe_id: int, num_pe: int) -> int:
+        """Rack index of ``pe_id`` (contiguous blocks of PEs per rack)."""
+        if num_pe <= 0:
+            return 0
+        return min(self.racks - 1, max(0, pe_id) * self.racks // num_pe)
+
+    def region_of_rack(self, rack: int) -> int:
+        """Region index of ``rack`` (contiguous blocks of racks per region)."""
+        return min(self.regions - 1, max(0, rack) * self.regions // self.racks)
+
+    def tier_between(self, src: int, dst: int, num_pe: int) -> int:
+        """0 = same rack, 1 = cross-rack same region, 2 = cross-region."""
+        if src == dst or self.racks <= 1:
+            return 0
+        src_rack = self.rack_of(src, num_pe)
+        dst_rack = self.rack_of(dst, num_pe)
+        if src_rack == dst_rack:
+            return 0
+        if self.region_of_rack(src_rack) == self.region_of_rack(dst_rack):
+            return 1
+        return 2
+
+    def latency_factor(self, tier: int) -> float:
+        """Per-packet wire-latency multiplier for ``tier``."""
+        if tier <= 0:
+            return 1.0
+        if tier == 1:
+            return self.cross_rack_latency_factor
+        return self.cross_region_latency_factor
+
+    def bandwidth_factor(self, tier: int) -> float:
+        """Bandwidth divisor (>= 1 slows the link) for ``tier``."""
+        if tier <= 0:
+            return 1.0
+        if tier == 1:
+            return self.cross_rack_bandwidth_factor
+        return self.cross_region_bandwidth_factor
+
+
+@dataclass(frozen=True)
 class ControlConfig:
     """Dynamic load-balancing control parameters (§3)."""
 
@@ -244,6 +387,11 @@ class SystemConfig:
     relation_b: RelationConfig = field(default_factory=default_relation_b)
     join_query: JoinQueryConfig = field(default_factory=JoinQueryConfig)
     oltp: Optional[OltpConfig] = None
+    # Heterogeneous hardware: contiguous PE blocks per class starting at PE 0
+    # (declaration order); PEs beyond the declared classes keep the uniform
+    # Fig. 4 hardware.  Empty tuple + single-rack topology = historical system.
+    node_classes: Tuple[NodeClass, ...] = ()
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -251,6 +399,22 @@ class SystemConfig:
             raise ValueError("num_pe must be >= 1")
         if self.multiprogramming_level < 1:
             raise ValueError("multiprogramming_level must be >= 1")
+        blocks: list[tuple[int, int, NodeClass]] = []
+        if self.node_classes:
+            names = [node_class.name for node_class in self.node_classes]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate node class names: {names}")
+            start = 0
+            for node_class in self.node_classes:
+                count = node_class.resolve_count(self.num_pe)
+                if start + count > self.num_pe:
+                    raise ValueError(
+                        f"node classes cover more than num_pe={self.num_pe} PEs"
+                    )
+                blocks.append((start, start + count, node_class))
+                start += count
+        object.__setattr__(self, "_class_blocks", tuple(blocks))
+        object.__setattr__(self, "_effective_cache", {})
 
     # -- derived quantities ----------------------------------------------
     @property
@@ -273,6 +437,82 @@ class SystemConfig:
         """PE identifiers owning relation B fragments."""
         return tuple(range(self.a_node_count, self.a_node_count + self.b_node_count))
 
+    # -- heterogeneous hardware ------------------------------------------
+    @property
+    def heterogeneous(self) -> bool:
+        """True when at least one PE runs non-default hardware."""
+        return any(
+            not node_class.is_default_hardware and end > start
+            for start, end, node_class in self._class_blocks
+        )
+
+    def node_class_of(self, pe_id: int) -> Optional[NodeClass]:
+        """The :class:`NodeClass` covering ``pe_id`` (None = default hardware)."""
+        for start, end, node_class in self._class_blocks:
+            if start <= pe_id < end:
+                return node_class
+        return None
+
+    def node_class_name(self, pe_id: int) -> str:
+        """Class name for ``pe_id`` (``"default"`` for uncovered PEs)."""
+        node_class = self.node_class_of(pe_id)
+        return node_class.name if node_class is not None else "default"
+
+    def effective_cpu(self, pe_id: int) -> CpuConfig:
+        """CPU configuration of ``pe_id``; the *same object* as ``self.cpu``
+        for default-hardware PEs so the uniform path stays bit-identical."""
+        node_class = self.node_class_of(pe_id)
+        if node_class is None or node_class.mips_factor == 1.0:
+            return self.cpu
+        key = ("cpu", node_class.name)
+        cached = self._effective_cache.get(key)
+        if cached is None:
+            cached = replace(self.cpu, mips=self.cpu.mips * node_class.mips_factor)
+            self._effective_cache[key] = cached
+        return cached
+
+    def effective_disk(self, pe_id: int) -> DiskConfig:
+        """Disk configuration of ``pe_id``; ``disk_factor`` scales *speed*,
+        so every per-page and access time is divided by it."""
+        node_class = self.node_class_of(pe_id)
+        if node_class is None or node_class.disk_factor == 1.0:
+            return self.disk
+        key = ("disk", node_class.name)
+        cached = self._effective_cache.get(key)
+        if cached is None:
+            factor = node_class.disk_factor
+            cached = replace(
+                self.disk,
+                controller_service_time=self.disk.controller_service_time / factor,
+                transmission_time_per_page=self.disk.transmission_time_per_page / factor,
+                avg_access_time=self.disk.avg_access_time / factor,
+                prefetch_delay_per_page=self.disk.prefetch_delay_per_page / factor,
+            )
+            self._effective_cache[key] = cached
+        return cached
+
+    def effective_buffer_pages(self, pe_id: int) -> int:
+        """Buffer pool size (pages) of ``pe_id``."""
+        node_class = self.node_class_of(pe_id)
+        if node_class is None or node_class.memory_factor == 1.0:
+            return self.buffer.buffer_pages
+        return max(1, round(self.buffer.buffer_pages * node_class.memory_factor))
+
+    def cpu_factor(self, pe_id: int) -> float:
+        """Relative CPU speed of ``pe_id`` (1.0 = default hardware)."""
+        node_class = self.node_class_of(pe_id)
+        return node_class.mips_factor if node_class is not None else 1.0
+
+    @property
+    def mean_mips_factor(self) -> float:
+        """System-wide mean relative CPU speed (1.0 for uniform systems)."""
+        if not self.heterogeneous:
+            return 1.0
+        total = float(self.num_pe)
+        for start, end, node_class in self._class_blocks:
+            total += (end - start) * (node_class.mips_factor - 1.0)
+        return total / self.num_pe
+
     def with_overrides(self, **overrides) -> "SystemConfig":
         """Return a copy with selected top-level fields replaced."""
         return replace(self, **overrides)
@@ -284,10 +524,18 @@ class SystemConfig:
             if self.oltp
             else ""
         )
+        classes = ""
+        if self.node_classes:
+            parts = ", ".join(
+                f"{end - start}x{node_class.name}"
+                for start, end, node_class in self._class_blocks
+            )
+            classes = f", classes [{parts}]"
+        topo = "" if self.topology.is_flat else f", {self.topology.racks} racks"
         return (
             f"{self.num_pe} PE x {self.cpu.mips:g} MIPS, "
             f"{self.buffer.buffer_pages} buffer pages, "
             f"{self.disk.disks_per_pe} disks/PE, "
             f"join selectivity {self.join_query.scan_selectivity:.2%}"
-            f"{oltp}"
+            f"{oltp}{classes}{topo}"
         )

@@ -35,9 +35,14 @@ class ProcessingElement:
         self.env = env
         self.pe_id = pe_id
         self.config = config
-        self.cpu = CpuServer(env, config.cpu, config.costs, pe_id=pe_id)
-        self.disks = DiskArray(env, config.disk, pe_id=pe_id)
-        self.buffer = BufferManager(env, config.buffer.buffer_pages, pe_id=pe_id)
+        # Per-PE hardware: the effective_* accessors return the base config
+        # objects verbatim for default-hardware PEs, so a uniform system is
+        # bit-identical to the pre-heterogeneity simulator.
+        self.node_class = config.node_class_name(pe_id)
+        self.cpu_factor = config.cpu_factor(pe_id)
+        self.cpu = CpuServer(env, config.effective_cpu(pe_id), config.costs, pe_id=pe_id)
+        self.disks = DiskArray(env, config.effective_disk(pe_id), pe_id=pe_id)
+        self.buffer = BufferManager(env, config.effective_buffer_pages(pe_id), pe_id=pe_id)
         self.locks = LockManager(env, pe_id=pe_id, deadlock_detector=deadlock_detector)
         self.transactions = TransactionManager(
             env, pe_id, config.multiprogramming_level

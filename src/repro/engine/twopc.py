@@ -41,18 +41,23 @@ class CommitStatistics:
             self.messages += 4 * participants
 
 
+def _pe_id(pe):
+    """Endpoint id for topology-aware wire costs (None for bare test stubs)."""
+    return getattr(pe, "pe_id", None)
+
+
 def _control_message(sender, receiver, network: Network, priority: int):
     """One small control message from ``sender`` PE to ``receiver`` PE."""
     send_cost, receive_cost = network.control_message_instructions()
     yield from sender.cpu.consume(send_cost, priority=priority)
-    yield from network.transfer(256)
+    yield from network.transfer(256, src=_pe_id(sender), dst=_pe_id(receiver))
     yield from receiver.cpu.consume(receive_cost, priority=priority)
 
 
-def _deliver(receiver, network: Network, priority: int):
+def _deliver(sender, receiver, network: Network, priority: int):
     """Wire transfer plus receive-side CPU for one control message."""
     _, receive_cost = network.control_message_instructions()
-    yield from network.transfer(256)
+    yield from network.transfer(256, src=_pe_id(sender), dst=_pe_id(receiver))
     yield from receiver.cpu.consume(receive_cost, priority=priority)
 
 
@@ -65,7 +70,9 @@ def _broadcast(env, sender, receivers, network: Network, priority: int):
     """
     send_cost, _ = network.control_message_instructions()
     yield from sender.cpu.consume(send_cost * len(receivers), priority=priority)
-    yield env.all_of([env.process(_deliver(pe, network, priority)) for pe in receivers])
+    yield env.all_of(
+        [env.process(_deliver(sender, pe, network, priority)) for pe in receivers]
+    )
 
 
 def _gather(env, sender_pes, coordinator, network: Network, priority: int):
@@ -74,7 +81,7 @@ def _gather(env, sender_pes, coordinator, network: Network, priority: int):
 
     def reply(pe):
         yield from pe.cpu.consume(send_cost, priority=priority)
-        yield from network.transfer(256)
+        yield from network.transfer(256, src=_pe_id(pe), dst=_pe_id(coordinator))
 
     yield env.all_of([env.process(reply(pe)) for pe in sender_pes])
     yield from coordinator.cpu.consume(receive_cost * len(sender_pes), priority=priority)

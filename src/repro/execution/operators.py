@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional, Sequence
 
 from repro.config.parameters import InstructionCosts
 from repro.database.relation import Fragment, Relation
@@ -93,6 +93,7 @@ def scan_fragment(
     costs: InstructionCosts,
     destinations: int,
     priority: int = PRIORITY_QUERY,
+    destination_ids: Optional[Sequence[int]] = None,
 ) -> Generator:
     """Simulation process: execute one scan subquery on ``pe``.
 
@@ -100,7 +101,8 @@ def scan_fragment(
     prefetched), pays the per-tuple CPU costs (read + partitioning hash) and
     the send-side communication costs for redistributing the output to
     ``destinations`` join processors.  The wire transfer itself is waited on
-    once for the node's whole output.
+    once for the node's whole output; when ``destination_ids`` are known, a
+    tiered topology charges the slowest (src, dst) tier of the fan-out.
     """
     env = pe.env
     prefetch = pe.disks.prefetch
@@ -122,4 +124,4 @@ def scan_fragment(
         packets = redistribution_packets(network, work.output_bytes, destinations)
         send_instructions = packets * (costs.send_message + costs.copy_message_packet)
         yield from pe.cpu.consume(send_instructions, priority=priority)
-        yield from network.transfer(work.output_bytes)
+        yield from network.transfer(work.output_bytes, src=pe.pe_id, dst=destination_ids)

@@ -48,7 +48,7 @@ class JoinExecutionResult:
 def _control_message(sender, receiver, network, costs, priority) -> Generator:
     """One small control message (subquery start / completion)."""
     yield from sender.cpu.consume(costs.send_message, priority=priority)
-    yield from network.transfer(256)
+    yield from network.transfer(256, src=sender.pe_id, dst=receiver.pe_id)
     yield from receiver.cpu.consume(costs.receive_message, priority=priority)
 
 
@@ -98,7 +98,7 @@ def execute_join_query(
     )
 
     def _deliver_start(pe):
-        yield from network.transfer(256)
+        yield from network.transfer(256, src=coordinator.pe_id, dst=pe.pe_id)
         yield from pe.cpu.consume(costs.receive_message, priority=priority)
 
     yield env.all_of(
@@ -134,6 +134,7 @@ def execute_join_query(
                 owner=f"join-{query.txn_id}",
                 inner_sources=len(inner.node_ids),
                 outer_sources=len(outer.node_ids),
+                coordinator_pe=coordinator.pe_id,
             )
         )
 
@@ -150,7 +151,8 @@ def execute_join_query(
             building.append(
                 env.process(
                     scan_fragment(
-                        system.pes[pe_id], work, network, costs, plan.degree, priority
+                        system.pes[pe_id], work, network, costs, plan.degree, priority,
+                        destination_ids=plan.processors,
                     )
                 )
             )
@@ -166,7 +168,8 @@ def execute_join_query(
             probing.append(
                 env.process(
                     scan_fragment(
-                        system.pes[pe_id], work, network, costs, plan.degree, priority
+                        system.pes[pe_id], work, network, costs, plan.degree, priority,
+                        destination_ids=plan.processors,
                     )
                 )
             )

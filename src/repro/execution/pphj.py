@@ -75,6 +75,7 @@ class PPHJExecutor:
         owner: str = "join",
         inner_sources: int = 1,
         outer_sources: int = 1,
+        coordinator_pe: Optional[int] = None,
     ):
         self.pe = pe
         self.env = pe.env
@@ -85,6 +86,8 @@ class PPHJExecutor:
         self.owner = owner
         self.inner_sources = max(1, inner_sources)
         self.outer_sources = max(1, outer_sources)
+        # Destination of the result stream (for tiered-topology wire costs).
+        self.coordinator_pe = coordinator_pe
         self.desired_pages = (
             desired_pages if desired_pages is not None else share.hash_table_pages
         )
@@ -231,7 +234,9 @@ class PPHJExecutor:
             cpu = share.result_tuples * costs.write_tuple_to_output
             cpu += self.network.send_instructions(result_bytes)
             yield from pe.cpu.consume(cpu, priority=priority)
-            yield from self.network.transfer(result_bytes)
+            yield from self.network.transfer(
+                result_bytes, src=pe.pe_id, dst=self.coordinator_pe
+            )
             self.result_bytes_sent = result_bytes
 
         pe.joins_processed += 1

@@ -15,6 +15,7 @@ from repro.experiments import (
     figure7,
     figure8,
     figure9,
+    heterogeneous,
     table_parameters,
 )
 from repro.experiments.base import (
@@ -45,6 +46,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "heterogeneous",
     "table_parameters",
     "PAPER_SYSTEM_SIZES",
     "AggregatedExperimentResult",

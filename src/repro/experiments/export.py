@@ -6,8 +6,11 @@ matching :meth:`AggregatedExperimentResult.to_rows` (one per (series, x),
 ``row_type="aggregate"`` with ``n`` and spread columns).  Results that carry
 a windowed timeline additionally contribute one row per window
 (``row_type="window"``, or ``"window_mean"`` for the window-wise replicate
-mean of an aggregated point).  The CSV header is the union of all row keys
-in first-appearance order, so every row kind shares one parseable table.
+mean of an aggregated point).  On heterogeneous systems each window also
+yields one row per node class (``row_type="window_class"`` /
+``"window_class_mean"``) carrying that class's cpu/disk/mem utilisation.
+The CSV header is the union of all row keys in first-appearance order, so
+every row kind shares one parseable table.
 """
 
 from __future__ import annotations
@@ -71,6 +74,21 @@ def timeline_rows(
             row = _window_row(window, scope, row_type)
             row["window_index"] = index
             rows.append(row)
+            for name, cpu, disk, mem in getattr(window, "class_util", ()):
+                class_row: Dict[str, object] = dict(scope)
+                class_row.update(
+                    {
+                        "row_type": f"{row_type}_class",
+                        "t_start": round(window.start, 6),
+                        "t_end": round(window.end, 6),
+                        "window_index": index,
+                        "node_class": name,
+                        "cpu_util": round(cpu, 3),
+                        "disk_util": round(disk, 3),
+                        "mem_util": round(mem, 3),
+                    }
+                )
+                rows.append(class_row)
     return rows
 
 

@@ -16,16 +16,28 @@ paper treats the network as non-bottleneck.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
-from repro.config.parameters import InstructionCosts, NetworkConfig
+from repro.config.parameters import InstructionCosts, NetworkConfig, TopologyConfig
 from repro.sim import BatchWalk, Environment, Resource, Timeout, coalescing_enabled
 
 __all__ = ["Network"]
 
+#: A transfer destination: one PE, or several for multi-destination sends
+#: (redistribution bursts), where the slowest tier bounds the wire time.
+Endpoint = Union[int, Iterable[int]]
+
 
 class Network:
-    """Packet-based interconnect with CPU-cost accounting helpers."""
+    """Packet-based interconnect with CPU-cost accounting helpers.
+
+    With a non-flat :class:`TopologyConfig` the wire time of each message
+    depends on the (src, dst) tier: crossing racks or regions multiplies the
+    per-packet latency and divides the bandwidth by the tier's factors.
+    Callers that do not know their endpoints (or a flat topology) fall back
+    to the uniform Fig. 4 wire, which keeps the historical float expressions
+    bit-identical.
+    """
 
     def __init__(
         self,
@@ -34,6 +46,8 @@ class Network:
         costs: InstructionCosts,
         model_contention: bool = False,
         link_capacity: int = 64,
+        topology: Optional[TopologyConfig] = None,
+        num_pe: int = 0,
     ):
         self.env = env
         self.config = config
@@ -45,6 +59,10 @@ class Network:
             Resource(env, capacity=link_capacity, name="network") if model_contention else None
         )
         self._coalesce = coalescing_enabled()
+        self._topology: Optional[TopologyConfig] = (
+            topology if topology is not None and not topology.is_flat else None
+        )
+        self._num_pe = num_pe
 
     # -- size helpers -------------------------------------------------------
     def packets_for(self, nbytes: int) -> int:
@@ -76,16 +94,41 @@ class Network:
         )
 
     # -- wire time ------------------------------------------------------------
-    def transfer_time(self, nbytes: int) -> float:
-        """Wire latency + transfer time for one message."""
-        return self.config.transfer_time(nbytes)
+    def _tier(self, src: int, dst: Endpoint) -> int:
+        """Communication tier for src -> dst (max tier over multi-dst sends)."""
+        topology = self._topology
+        if isinstance(dst, int):
+            return topology.tier_between(src, dst, self._num_pe)
+        return max(
+            (topology.tier_between(src, d, self._num_pe) for d in dst),
+            default=0,
+        )
 
-    def transfer(self, nbytes: int):
+    def transfer_time(
+        self, nbytes: int, src: Optional[int] = None, dst: Optional[Endpoint] = None
+    ) -> float:
+        """Wire latency + transfer time for one message.
+
+        Unknown endpoints (``None``) or a flat topology charge the uniform
+        wire; otherwise the (src, dst) tier scales latency and bandwidth.
+        """
+        topology = self._topology
+        if topology is None or src is None or dst is None:
+            return self.config.transfer_time(nbytes)
+        tier = self._tier(src, dst)
+        if tier == 0:
+            return self.config.transfer_time(nbytes)
+        packets = self.config.packets_for(nbytes)
+        latency = self.config.wire_latency * topology.latency_factor(tier)
+        bandwidth = self.config.bandwidth_bytes_per_s / topology.bandwidth_factor(tier)
+        return packets * latency + nbytes / bandwidth
+
+    def transfer(self, nbytes: int, src: Optional[int] = None, dst: Optional[Endpoint] = None):
         """Simulation step: occupy the fabric (if modelled) for the transfer."""
         self.messages_sent += 1
         self.packets_sent += self.packets_for(nbytes)
         self.bytes_sent += max(0, nbytes)
-        delay = self.transfer_time(nbytes)
+        delay = self.transfer_time(nbytes, src, dst)
         fabric = self._fabric
         if fabric is None:
             yield Timeout(self.env, delay)
@@ -97,7 +140,9 @@ class Network:
         finally:
             fabric.release(req)
 
-    def transfer_chain(self, sizes: Iterable[int]):
+    def transfer_chain(
+        self, sizes: Iterable[int], src: Optional[int] = None, dst: Optional[Endpoint] = None
+    ):
         """Simulation step: a burst of back-to-back transfers by one sender.
 
         Without fabric contention modelling the burst collapses into a single
@@ -126,7 +171,7 @@ class Network:
                 self.messages_sent += 1
                 self.packets_sent += self.packets_for(nbytes)
                 self.bytes_sent += max(0, nbytes)
-                end += self.transfer_time(nbytes)
+                end += self.transfer_time(nbytes, src, dst)
                 boundaries.append(end)
             boundaries.pop()  # the chain end is the macro-event itself
             walk = BatchWalk(env, boundaries, end)
@@ -137,4 +182,4 @@ class Network:
             env.events_coalesced += max(0, len(sizes) - 1 - walk.hops)
             return
         for nbytes in sizes:
-            yield from self.transfer(nbytes)
+            yield from self.transfer(nbytes, src, dst)

@@ -53,6 +53,11 @@ class TimelineWindow:
     mem_util: float = 0.0  # time-weighted buffer occupancy, mean over PEs
     mem_util_max: float = 0.0
     mem_imbalance: float = 0.0
+    #: Per-node-class utilisation on heterogeneous systems: one
+    #: ``(class_name, cpu_util, disk_util, mem_util)`` tuple per class, in PE
+    #: order.  Empty on uniform systems (single class), keeping their
+    #: serialised timelines unchanged.
+    class_util: tuple = ()
 
     @property
     def duration(self) -> float:
@@ -94,10 +99,16 @@ class Timeline:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Timeline":
         known = {f.name for f in fields(TimelineWindow)}
-        windows = [
-            TimelineWindow(**{k: v for k, v in entry.items() if k in known})
-            for entry in data.get("windows", ())
-        ]
+        windows = []
+        for entry in data.get("windows", ()):
+            kwargs = {k: v for k, v in entry.items() if k in known}
+            # JSON turns the per-class tuples into nested lists; re-tuple so
+            # round-tripped timelines compare equal to the originals.
+            kwargs["class_util"] = tuple(
+                (str(name), float(cpu), float(disk), float(mem))
+                for name, cpu, disk, mem in kwargs.get("class_util") or ()
+            )
+            windows.append(TimelineWindow(**kwargs))
         return cls(window=float(data["window"]), windows=windows)
 
 
@@ -141,6 +152,13 @@ class TimelineCollector:
         # instead of per window close (windows can be short and PEs many).
         self._cpu_capacities = [pe.cpu.resource.capacity for pe in self.pes]
         self._buffer_pages = [pe.buffer.total_pages for pe in self.pes]
+        # Node-class groups (heterogeneous systems only): class name -> PE
+        # indices, in PE order.  With a single class the per-class series is
+        # redundant and stays off, keeping uniform timelines unchanged.
+        groups: Dict[str, List[int]] = {}
+        for index, pe in enumerate(self.pes):
+            groups.setdefault(getattr(pe, "node_class", "default"), []).append(index)
+        self._class_groups = list(groups.items()) if len(groups) > 1 else []
         self.windows: List[TimelineWindow] = []
         self._join_rts: List[float] = []
         self._oltp_rts: List[float] = []
@@ -195,6 +213,15 @@ class TimelineCollector:
         cpu_mean, cpu_max, cpu_imb = _fold(cpu)
         disk_mean, disk_max, disk_imb = _fold(disk)
         mem_mean, mem_max, mem_imb = _fold(mem)
+        class_util = tuple(
+            (
+                name,
+                math.fsum(cpu[i] for i in indices) / len(indices),
+                math.fsum(disk[i] for i in indices) / len(indices),
+                math.fsum(mem[i] for i in indices) / len(indices),
+            )
+            for name, indices in self._class_groups
+        )
         rts = sorted(self._join_rts)
         self.windows.append(
             TimelineWindow(
@@ -218,6 +245,7 @@ class TimelineCollector:
                 mem_util=mem_mean,
                 mem_util_max=mem_max,
                 mem_imbalance=mem_imb,
+                class_util=class_util,
             )
         )
         self._join_rts = []
@@ -255,7 +283,9 @@ def aggregate_timelines(timelines: Sequence[Optional[Timeline]]) -> Optional[Tim
             if a.start != b.start or a.end != b.end:
                 return None
     metric_names = [
-        f.name for f in fields(TimelineWindow) if f.name not in ("start", "end")
+        f.name
+        for f in fields(TimelineWindow)
+        if f.name not in ("start", "end", "class_util")
     ]
     windows = []
     for index, window in enumerate(first.windows):
@@ -264,5 +294,38 @@ def aggregate_timelines(timelines: Sequence[Optional[Timeline]]) -> Optional[Tim
             / len(materialised)
             for name in metric_names
         }
-        windows.append(TimelineWindow(start=window.start, end=window.end, **means))
+        windows.append(
+            TimelineWindow(
+                start=window.start,
+                end=window.end,
+                class_util=_aggregate_class_util(
+                    [t.windows[index].class_util for t in materialised]
+                ),
+                **means,
+            )
+        )
     return Timeline(window=first.window, windows=windows)
+
+
+def _aggregate_class_util(per_replicate: Sequence[tuple]) -> tuple:
+    """Class-wise mean of the per-class utilisation tuples of one window.
+
+    Replicates of one point share the hardware layout, so the class name
+    sequences match; if they ever do not (hand-mixed timelines), the
+    per-class series is dropped rather than averaged across unlike classes.
+    """
+    first = per_replicate[0]
+    names = [entry[0] for entry in first]
+    for other in per_replicate[1:]:
+        if [entry[0] for entry in other] != names:
+            return ()
+    count = len(per_replicate)
+    return tuple(
+        (
+            name,
+            math.fsum(t[index][1] for t in per_replicate) / count,
+            math.fsum(t[index][2] for t in per_replicate) / count,
+            math.fsum(t[index][3] for t in per_replicate) / count,
+        )
+        for index, name in enumerate(names)
+    )

@@ -33,7 +33,10 @@ __all__ = ["ResultCache", "default_cache_dir", "write_json_atomic"]
 #: v3: arrival process axes + timeline window joined the payload, results
 #: may carry a ``timeline`` time series, and derived replicate seeds now
 #: cover the arrival coordinate.
-CACHE_FORMAT_VERSION = 3
+#: v4: heterogeneous hardware -- ``node_classes``/``topology`` joined the
+#: payload (canonicalised to ``None`` on uniform points), and timeline
+#: windows may carry per-node-class utilisation tuples.
+CACHE_FORMAT_VERSION = 4
 
 
 def write_json_atomic(path: Path, payload: dict) -> None:

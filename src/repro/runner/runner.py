@@ -114,7 +114,27 @@ def build_config(point: PointSpec):
             config = _replace_path(config, "join_query.scan_selectivity", point.selectivity)
     else:
         raise ValueError(f"unknown scenario builder {point.scenario!r}")
+    config = _apply_hardware_axes(config, point)
     return apply_config_overrides(config, point.config_overrides)
+
+
+def _apply_hardware_axes(config, point: PointSpec):
+    """Materialise the point's encoded node-class / topology axes.
+
+    Uniform points carry ``None`` (the expansion canonicalises explicit
+    defaults away), so this is a no-op -- the config object is returned
+    untouched -- on every historical scenario.
+    """
+    from repro.config.parameters import NodeClass, TopologyConfig
+
+    updates = {}
+    if point.node_classes is not None:
+        updates["node_classes"] = tuple(
+            NodeClass(**dict(node_class)) for node_class in point.node_classes
+        )
+    if point.topology is not None:
+        updates["topology"] = TopologyConfig(**dict(point.topology))
+    return config.with_overrides(**updates) if updates else config
 
 
 def _analytic_result(config, degree: int, estimate_seconds: float) -> SimulationResult:

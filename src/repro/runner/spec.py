@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.config.parameters import NodeClass, TopologyConfig
 from repro.workload.arrivals import ARRIVAL_KINDS
 
 __all__ = [
@@ -63,6 +64,71 @@ DEFAULT_NUM_QUERIES = {"single": 5, "fixed-degree": 2}
 #: Window length (simulated seconds) when a timeline sweep leaves
 #: ``timeline_window`` unset.
 DEFAULT_TIMELINE_WINDOW = 1.0
+
+#: Encoded hardware axes.  A node-classes axis entry is a tuple of class
+#: encodings, each a tuple of (field, value) pairs for
+#: :class:`~repro.config.parameters.NodeClass`, e.g.
+#: ``((("name", "fast"), ("fraction", 0.5), ("mips_factor", 2.0)),)``.
+#: A topology axis entry is a tuple of (field, value) pairs for
+#: :class:`~repro.config.parameters.TopologyConfig`.  Everything stays
+#: primitive so points remain picklable and JSON-round-trippable.
+NodeClassesEntry = Tuple[Tuple[Tuple[str, object], ...], ...]
+TopologyEntry = Tuple[Tuple[str, object], ...]
+
+
+def _canonical_node_classes(entry) -> Optional[NodeClassesEntry]:
+    """Normalise a node-classes entry; ``None`` when hardware-equivalent to
+    the uniform system (all factors 1.0), so explicitly-default heterogeneous
+    axes collapse onto the historical points -- same seeds, same cache keys,
+    byte-identical outputs."""
+    if entry is None:
+        return None
+    normalized = tuple(
+        tuple((str(key), value) for key, value in node_class) for node_class in entry
+    )
+    for node_class in normalized:
+        if not NodeClass(**dict(node_class)).is_default_hardware:
+            return normalized
+    return None
+
+
+def _canonical_topology(entry) -> Optional[TopologyEntry]:
+    """Normalise a topology entry; ``None`` when the topology is flat."""
+    if entry is None:
+        return None
+    normalized = tuple((str(key), value) for key, value in entry)
+    if TopologyConfig(**dict(normalized)).is_flat:
+        return None
+    return normalized
+
+
+def _nodes_label(entry: Optional[NodeClassesEntry]) -> str:
+    """Short series-label token for a (canonical) node-classes entry.
+
+    Each class renders as ``name:size`` (count, or fraction as written), so
+    two mixes of the same class at different sizes stay distinct series.
+    """
+    if not entry:
+        return "uniform"
+    parts = []
+    for node_class in entry:
+        attrs = dict(node_class)
+        name = str(attrs.get("name", "?"))
+        size = attrs.get("count", attrs.get("fraction"))
+        parts.append(f"{name}:{size:g}" if size is not None else name)
+    return "+".join(parts)
+
+
+def _topology_label(entry: Optional[TopologyEntry]) -> str:
+    """Short series-label token for a (canonical) topology entry."""
+    if not entry:
+        return "flat"
+    attrs = dict(entry)
+    racks = attrs.get("racks", 1)
+    regions = attrs.get("regions", 1)
+    if regions and int(regions) > 1:
+        return f"{racks}r/{regions}g"
+    return f"{racks}r"
 
 
 def derive_seed(base_seed: int, *components: object) -> int:
@@ -118,6 +184,14 @@ class Sweep:
     #: axis value keeps labelling the (series, x) group, so confidence
     #: intervals then reflect workload noise on top of seed noise.
     perturb: Tuple[Tuple[str, float], ...] = ()
+    #: Hardware axes: encoded :class:`NodeClass` mixes and
+    #: :class:`TopologyConfig` tiers (see :data:`NodeClassesEntry` /
+    #: :data:`TopologyEntry` above).  ``None`` entries keep the uniform
+    #: hardware; entries that *encode* uniform hardware are canonicalised to
+    #: ``None`` at expansion, so they share the historical points' seeds and
+    #: cache keys.
+    node_classes: Tuple[Optional[NodeClassesEntry], ...] = (None,)
+    topologies: Tuple[Optional[TopologyEntry], ...] = (None,)
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -172,6 +246,12 @@ class Sweep:
                 raise ValueError(
                     f"timeline_window must be positive, got {self.timeline_window}"
                 )
+        for entry in self.node_classes:
+            # Constructing the classes validates the encoding (unknown keys,
+            # bad fractions/factors) at declaration time, not in a worker.
+            _canonical_node_classes(entry)
+        for entry in self.topologies:
+            _canonical_topology(entry)
         for axis, fraction in self.perturb:
             if axis not in PERTURBABLE_AXES:
                 raise ValueError(
@@ -281,6 +361,10 @@ class PointSpec:
     arrival_params: Tuple[Tuple[str, float], ...] = ()
     #: Window length for timeline points (``None`` for other kinds).
     timeline_window: Optional[float] = None
+    #: Canonical hardware axes of the point (``None`` = uniform / flat; see
+    #: :data:`NodeClassesEntry` / :data:`TopologyEntry`).
+    node_classes: Optional[NodeClassesEntry] = None
+    topology: Optional[TopologyEntry] = None
 
     def cache_payload(self) -> Tuple[Tuple[str, object], ...]:
         """The (key, value) pairs that determine this point's result."""
@@ -303,6 +387,8 @@ class PointSpec:
             ("arrival_kind", self.arrival_kind),
             ("arrival_params", self.arrival_params),
             ("timeline_window", self.timeline_window),
+            ("node_classes", self.node_classes),
+            ("topology", self.topology),
         )
 
 
@@ -310,9 +396,9 @@ def point_from_payload(payload) -> PointSpec:
     """Rebuild a :class:`PointSpec` from a JSON-decoded ``asdict`` payload.
 
     JSON round-trips turn the tuple-valued fields (``config_overrides``,
-    ``arrival_params``) into lists; normalising them back keeps rebuilt
-    points equal to the originals (and hashable by the result cache with
-    byte-identical keys).
+    ``arrival_params``, ``node_classes``, ``topology``) into (nested) lists;
+    normalising them back keeps rebuilt points equal to the originals (and
+    hashable by the result cache with byte-identical keys).
     """
     data = dict(payload)
     data["config_overrides"] = tuple(
@@ -320,6 +406,21 @@ def point_from_payload(payload) -> PointSpec:
     )
     data["arrival_params"] = tuple(
         (str(name), value) for name, value in (data.get("arrival_params") or ())
+    )
+    node_classes = data.get("node_classes")
+    data["node_classes"] = (
+        None
+        if node_classes is None
+        else tuple(
+            tuple((str(key), value) for key, value in node_class)
+            for node_class in node_classes
+        )
+    )
+    topology = data.get("topology")
+    data["topology"] = (
+        None
+        if topology is None
+        else tuple((str(key), value) for key, value in topology)
     )
     return PointSpec(**data)
 
@@ -362,6 +463,8 @@ def _point_seed(
     placement: Optional[str],
     arrival: Optional[str],
     replicate: int,
+    node_classes: Optional[NodeClassesEntry] = None,
+    topology: Optional[TopologyEntry] = None,
 ) -> int:
     """Seed for one point: base seed, or a collision-free derived seed.
 
@@ -370,11 +473,14 @@ def _point_seed(
     their first replicate (and share its cache entry).  Every other point
     derives from the full distinguishing coordinate tuple, never from the
     (series label, x) pair, which can be shared by distinct configurations.
+
+    The hardware axes join the component tuple only when non-default:
+    appending them unconditionally would change every existing derived seed
+    (and with it the committed golden figures).
     """
     if replicate == 0 and not sweep.reseed_per_point:
         return spec.seed
-    return derive_seed(
-        spec.seed,
+    components = [
         sweep.kind,
         sweep.scenario,
         num_pe,
@@ -386,7 +492,10 @@ def _point_seed(
         arrival,
         sweep.config_overrides,
         replicate,
-    )
+    ]
+    if node_classes is not None or topology is not None:
+        components.extend([node_classes, topology])
+    return derive_seed(spec.seed, *components)
 
 
 def _perturbed_axes(
@@ -468,11 +577,22 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
             if sweep.kind == "timeline"
             else None
         )
+        # Canonicalise the hardware axes once per sweep: encodings of uniform
+        # hardware / flat topologies collapse to None here, so they produce
+        # the very same points (seeds, cache keys, bytes) as the axis default.
+        # They join the arrival axis in one flat product to keep the historic
+        # loop nesting (and with it the point order of existing scenarios).
+        workload_axes = [
+            (arrival, _canonical_node_classes(raw_classes), _canonical_topology(raw_topology))
+            for arrival in sweep.arrivals
+            for raw_classes in sweep.node_classes
+            for raw_topology in sweep.topologies
+        ]
         for num_pe in sweep.system_sizes:
             for selectivity in sweep.selectivities:
                 for rate in sweep.rates:
                     for placement in sweep.oltp_placements:
-                        for arrival in sweep.arrivals:
+                        for arrival, node_classes_entry, topology_entry in workload_axes:
                             for member in inner:
                                 strategy = None
                                 degree = None
@@ -497,6 +617,8 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                     ),
                                     placement=placement,
                                     arrival=arrival,
+                                    nodes=_nodes_label(node_classes_entry),
+                                    topology=_topology_label(topology_entry),
                                 )
                                 if sweep.num_queries is not None:
                                     num_queries = sweep.num_queries
@@ -521,6 +643,14 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                         arrival,
                                         sweep.config_overrides,
                                     )
+                                    if (
+                                        node_classes_entry is not None
+                                        or topology_entry is not None
+                                    ):
+                                        coordinates += (
+                                            node_classes_entry,
+                                            topology_entry,
+                                        )
                                     seed = _point_seed(
                                         spec,
                                         sweep,
@@ -532,6 +662,8 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                         placement=placement,
                                         arrival=arrival,
                                         replicate=replicate,
+                                        node_classes=node_classes_entry,
+                                        topology=topology_entry,
                                     )
                                     point_rate, point_selectivity = _perturbed_axes(
                                         spec,
@@ -581,6 +713,8 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                                 else ()
                                             ),
                                             timeline_window=window,
+                                            node_classes=node_classes_entry,
+                                            topology=topology_entry,
                                         )
                                     )
     return tuple(points)

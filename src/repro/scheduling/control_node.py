@@ -34,6 +34,10 @@ class NodeStatus:
     cpu_utilization: float = 0.0
     free_memory_pages: int = 0
     disk_utilization: float = 0.0
+    # Relative CPU speed of the PE (node-class mips factor, 1.0 = default
+    # hardware).  Lets the rankings below compare *absolute* headroom across
+    # heterogeneous nodes instead of raw utilisation percentages.
+    cpu_capacity: float = 1.0
 
 
 class ControlNode:
@@ -49,9 +53,15 @@ class ControlNode:
                 cpu_utilization=0.0,
                 free_memory_pages=pe.buffer.free_pages,
                 disk_utilization=0.0,
+                cpu_capacity=getattr(pe, "cpu_factor", 1.0),
             )
             for pe in self.pes
         }
+        # Uniform systems keep the historical utilisation-based orderings and
+        # plain averages so their float expressions stay bit-identical.
+        self._heterogeneous = any(
+            status.cpu_capacity != 1.0 for status in self._status.values()
+        )
         self.reports = 0
         self._running = False
 
@@ -90,6 +100,19 @@ class ControlNode:
             self._status
         )
 
+    def average_effective_cpu_utilization(self) -> float:
+        """Capacity-weighted CPU utilisation: the fraction of the system's
+        aggregate MIPS currently busy.  Equals :meth:`average_cpu_utilization`
+        on uniform hardware (and takes that exact code path there)."""
+        if not self._heterogeneous:
+            return self.average_cpu_utilization()
+        busy = 0.0
+        capacity = 0.0
+        for status in self._status.values():
+            busy += status.cpu_utilization * status.cpu_capacity
+            capacity += status.cpu_capacity
+        return busy / capacity if capacity else 0.0
+
     def average_disk_utilization(self) -> float:
         if not self._status:
             return 0.0
@@ -115,7 +138,18 @@ class ControlNode:
         )
 
     def nodes_by_cpu(self) -> List[NodeStatus]:
-        """All nodes sorted by reported CPU utilisation, ascending (for LUC)."""
+        """All nodes sorted for LUC: least CPU load first, PE index breaking
+        ties.  On heterogeneous hardware "least loaded" means the most
+        *absolute* idle MIPS -- a fast node at 50 % has more headroom than a
+        slow node at 40 % -- so the ranking normalises by capacity."""
+        if self._heterogeneous:
+            return sorted(
+                self._status.values(),
+                key=lambda status: (
+                    -(1.0 - status.cpu_utilization) * status.cpu_capacity,
+                    status.pe_id,
+                ),
+            )
         return sorted(
             self._status.values(),
             key=lambda status: (status.cpu_utilization, status.pe_id),

@@ -73,5 +73,9 @@ class DynamicCpuDegree:
     name: str = "pmu_cpu"
 
     def degree(self, query, cost_model, control) -> int:
-        utilization = control.average_cpu_utilization() if control is not None else 0.0
+        # Capacity-weighted on heterogeneous hardware; identical to the plain
+        # average (same code path) on uniform systems.
+        utilization = (
+            control.average_effective_cpu_utilization() if control is not None else 0.0
+        )
         return cost_model.pmu_cpu(query, utilization)

@@ -33,8 +33,19 @@ def _avail_memory(context: SchedulingContext) -> List[NodeStatus]:
             status for status in context.control.avail_memory() if status.pe_id in eligible
         ]
     # Without a control node (single-user tests) every buffer is empty.
-    pages = context.cost_model.config.buffer.buffer_pages
-    return [NodeStatus(pe_id=pe, free_memory_pages=pages) for pe in sorted(eligible)]
+    config = context.cost_model.config
+    statuses = [
+        NodeStatus(
+            pe_id=pe,
+            free_memory_pages=config.effective_buffer_pages(pe),
+            cpu_capacity=config.cpu_factor(pe),
+        )
+        for pe in sorted(eligible)
+    ]
+    # Keep the AVAIL-MEMORY invariant (most free memory first) even when the
+    # per-PE pools differ.
+    statuses.sort(key=lambda status: (-status.free_memory_pages, status.pe_id))
+    return statuses
 
 
 def _overflow_pages(avail: Sequence[NodeStatus], k: int, needed_pages: int) -> int:
@@ -153,7 +164,9 @@ class OptIOCpuStrategy(LoadBalancingStrategy):
         needed = profile.hash_table_pages
         avail = _avail_memory(context)
         utilization = (
-            context.control.average_cpu_utilization() if context.control is not None else 0.0
+            context.control.average_effective_cpu_utilization()
+            if context.control is not None
+            else 0.0
         )
         max_degree = min(len(avail), context.cost_model.pmu_cpu(query, utilization))
         io_avoiding = _io_avoiding_degrees(avail, needed, max_degree=max_degree)

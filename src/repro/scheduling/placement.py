@@ -71,7 +71,9 @@ class LeastUtilizedCpuPlacement:
     def select(self, degree, eligible, control, pages_per_processor=0) -> List[int]:
         degree = _clamp_degree(degree, eligible)
         if control is None:
-            return sorted(list(eligible)[:degree])
+            # All utilisations are equal (unknown): break the tie by PE index,
+            # independent of the order the eligible set was handed over in.
+            return sorted(eligible)[:degree]
         eligible_set = set(eligible)
         ranked = [
             status.pe_id
@@ -92,7 +94,9 @@ class LeastUtilizedMemoryPlacement:
     def select(self, degree, eligible, control, pages_per_processor=0) -> List[int]:
         degree = _clamp_degree(degree, eligible)
         if control is None:
-            return sorted(list(eligible)[:degree])
+            # Equal (unknown) free memory everywhere: deterministic PE-index
+            # tie-break, as for LUC above.
+            return sorted(eligible)[:degree]
         eligible_set = set(eligible)
         ranked = [
             status.pe_id

@@ -59,7 +59,13 @@ class ParallelSystem:
             ProcessingElement(self.env, pe_id, config, self.deadlock_detector)
             for pe_id in range(config.num_pe)
         ]
-        self.network = Network(self.env, config.network, config.costs)
+        self.network = Network(
+            self.env,
+            config.network,
+            config.costs,
+            topology=config.topology,
+            num_pe=config.num_pe,
+        )
         self.catalog = Catalog.from_config(config)
         self.cost_model = CostModel(config)
         self.control_node = ControlNode(self.env, self.pes, config.control)

@@ -25,7 +25,11 @@ harness measures
   uniform ``timeline`` point, so its wall ratio against that point tracks
   the overhead the heterogeneity layer adds to *uniform* configs; target
   < 5 %) and ``heterogeneous`` (a real fast/slow mix on a 4-rack
-  interconnect, the mixed-hardware scaling point proper).
+  interconnect, the mixed-hardware scaling point proper).  PR 8 adds
+  ``fault_default`` (the fault injector attached but idle -- its wall
+  ratio against the uniform point is the injector's overhead, same < 5 %
+  target) and ``faulted`` (a crash-and-recover cycle under load, up to
+  640 PEs).
 
 Results are written to ``BENCH_PR5.json`` at the repository root under a
 ``--label`` (``before``/``after``/anything): the file accumulates labels, so
@@ -345,7 +349,19 @@ def _scale_points(quick: bool) -> List[Dict[str, object]]:
       layer's overhead on uniform configs (< 5 % target).
     * ``heterogeneous`` -- the ``timeline`` workload on a real fast/slow mix
       (half the PEs at 2x MIPS/memory) over a 4-rack interconnect.
+    * ``fault_default`` -- the ``timeline`` workload with the PR 8 fault
+      injector attached but effectively idle (a single no-op degrade at
+      factor 1.0): the wall ratio against the uniform ``timeline`` point is
+      the injector's bookkeeping overhead (< 5 % target, like
+      ``hetero_default``).
+    * ``faulted`` -- the ``timeline`` workload through a crash-and-recover
+      cycle (PE 1 down 1.5 s..2.5 s of the 4 s run): kills, resubmissions
+      and failure-aware scheduling under load, capped at 640 PEs.
     """
+    from repro.faults.plan import FaultEvent
+
+    crash_plan = (FaultEvent(time=1.5, kind="pe_crash", pe=1, duration=1.0).encode(),)
+    noop_plan = (FaultEvent(time=2.0, kind="degrade", pe=1, factor=1.0).encode(),)
     points: List[Dict[str, object]] = []
     for num_pe in SCALE_QUICK_SIZES if quick else SCALE_SIZES:
         points.append({"kind": "uncontended", "num_pe": num_pe, "iterations": 3})
@@ -357,6 +373,15 @@ def _scale_points(quick: bool) -> List[Dict[str, object]]:
             points.append(
                 {"kind": kind, "num_pe": num_pe, "arrival_rate_per_pe": 0.02,
                  "duration": 4.0}
+            )
+        points.append(
+            {"kind": "fault_default", "num_pe": num_pe, "arrival_rate_per_pe": 0.02,
+             "duration": 4.0, "faults": noop_plan}
+        )
+        if num_pe <= 640:
+            points.append(
+                {"kind": "faulted", "num_pe": num_pe, "arrival_rate_per_pe": 0.02,
+                 "duration": 4.0, "faults": crash_plan}
             )
     return points
 
@@ -411,7 +436,13 @@ else:
                                     mips_factor=2.0, memory_factor=2.0),),
             topology=TopologyConfig(racks=4, cross_rack_latency_factor=8.0,
                                     cross_rack_bandwidth_factor=2.0))
-    driver = SimulationDriver(config, strategy="OPT-IO-CPU")
+    faults = None
+    if payload.get("faults"):
+        from repro.faults.plan import decode_failures
+        faults = decode_failures(tuple(
+            tuple(tuple(pair) for pair in event) for event in payload["faults"]
+        ))
+    driver = SimulationDriver(config, strategy="OPT-IO-CPU", faults=faults)
     start = time.perf_counter()
     if kind == "single_user":
         result = driver.run_single_user(num_queries=payload["num_queries"])
@@ -420,6 +451,11 @@ else:
     wall = time.perf_counter() - start
     env = driver.env
     extra["joins_completed"] = result.joins_completed
+    if faults is not None:
+        runtime = driver.system.faults
+        extra["faults_injected"] = runtime.injected
+        extra["fault_kills"] = runtime.kills
+        extra["fault_resubmits"] = runtime.resubmits
 print(json.dumps({
     "wall_s": wall,
     "events_dispatched": env.events_dispatched,
@@ -504,6 +540,11 @@ def run_scale(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, o
         for record in points
     }
     hetero_overhead: Dict[str, float] = {}
+    # Same discipline for the fault injector: the fault_default point runs
+    # the timeline workload with an attached-but-idle injector, so its wall
+    # ratio against the uniform point is the injector's overhead on
+    # fault-free runs (< 5 % target, recorded rather than failed).
+    fault_overhead: Dict[str, float] = {}
     for num_pe in SCALE_QUICK_SIZES if quick else SCALE_SIZES:
         base = walls.get(("timeline", num_pe))
         twin = walls.get(("hetero_default", num_pe))
@@ -514,6 +555,14 @@ def run_scale(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, o
                 f"[scale] hetero-default overhead @{num_pe:>5} PE: "
                 f"{overhead:+.1%} (target < 5%)"
             )
+        idle = walls.get(("fault_default", num_pe))
+        if base and idle:
+            overhead = idle / base - 1.0
+            fault_overhead[str(num_pe)] = round(overhead, 4)
+            print(
+                f"[scale] fault-default overhead @{num_pe:>5} PE: "
+                f"{overhead:+.1%} (target < 5%)"
+            )
     return {
         "schema": "repro-lb-scale/1",
         "quick": quick,
@@ -522,6 +571,7 @@ def run_scale(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, o
         "sizes": list(SCALE_QUICK_SIZES if quick else SCALE_SIZES),
         "points": points,
         "hetero_default_overhead": hetero_overhead,
+        "fault_default_overhead": fault_overhead,
     }
 
 

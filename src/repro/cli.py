@@ -256,6 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
             "inter_bandwidth, region_latency, region_bandwidth)"
         ),
     )
+    sweep.add_argument(
+        "--fault", dest="faults", action="append", default=[],
+        metavar="KIND@TIME[:KEY=VALUE...]",
+        help=(
+            "inject a fault, e.g. --fault crash@15:pe=1:duration=15 or "
+            "--fault degrade@15:pe=1:factor=0.25:duration=20 (kinds: crash, "
+            "recover, degrade, restore, disk_fail, add, remove; keys: pe, "
+            "factor, duration, restart_delay, pages; repeatable -- all "
+            "faults form one plan applied to every point)"
+        ),
+    )
     _add_runner_arguments(sweep)
 
     dispatch = sub.add_parser(
@@ -679,6 +690,16 @@ def _parse_topology(text: str) -> tuple:
     return tuple(fields)
 
 
+def _parse_fault(text: str) -> tuple:
+    """``KIND@TIME[:KEY=VALUE...]`` -> one encoded fault event."""
+    from repro.faults.plan import parse_fault
+
+    try:
+        return parse_fault(text)
+    except ValueError as exc:
+        raise SystemExit(f"invalid --fault {text!r}: {exc}") from None
+
+
 def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
     scenario = "mixed" if args.oltp else args.scenario
     rates = tuple(args.rates) if args.rates else (None,)
@@ -708,10 +729,15 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         else None
     )
     topology_entry = _parse_topology(args.topology) if args.topology else None
+    failures_entry = (
+        tuple(_parse_fault(text) for text in args.faults) if args.faults else None
+    )
     if node_classes_entry is not None:
         series += " [{nodes}]"
     if topology_entry is not None:
         series += " {topology}"
+    if failures_entry is not None:
+        series += " [{failures}]"
 
     arrival_params = tuple(_parse_arrival_param(text) for text in args.arrival_params)
     if arrival == "trace":
@@ -734,6 +760,7 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
             perturb=tuple(_parse_float_pair(text, "--perturb") for text in args.perturb),
             node_classes=(node_classes_entry,),
             topologies=(topology_entry,),
+            failures=(failures_entry,),
         )
     except ValueError as exc:
         raise SystemExit(f"invalid sweep: {exc}") from None
@@ -758,6 +785,10 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         )
     if topology_entry is not None:
         axes.append(f"topology={dict(topology_entry).get('racks', 1)} racks")
+    if failures_entry is not None:
+        from repro.faults.plan import failures_label
+
+        axes.append(f"faults={failures_label(failures_entry)}")
     from repro.experiments.dynamic import render_timeline_table
 
     return ScenarioSpec(

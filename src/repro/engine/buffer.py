@@ -227,6 +227,25 @@ class BufferManager:
             self.reservations_granted += 1
             pending.event.succeed(working_space)
 
+    # -- crash cleanup -------------------------------------------------------
+    def purge_owner(self, owner: str) -> None:
+        """Free every trace of ``owner`` (fault-injection kill).
+
+        Releases working spaces held by the owner -- including spaces
+        granted synchronously by :meth:`_serve_queue` that the (now killed)
+        acquirer never resumed to consume -- and drops its pending memory
+        reservations without failing their events.
+        """
+        for working_space in [
+            ws for ws in self._working_spaces if ws.owner == owner
+        ]:
+            self.release(working_space)
+        if any(pending.owner == owner for pending in self._memory_queue):
+            self._memory_queue = deque(
+                pending for pending in self._memory_queue if pending.owner != owner
+            )
+            self._serve_queue()
+
     # -- OLTP footprint (higher priority) -----------------------------------------
     def ensure_oltp_footprint(self, target_pages: int) -> int:
         """Grow the OLTP buffer footprint towards ``target_pages``.

@@ -182,6 +182,28 @@ class LockManager:
             self.release_all(txn_id)
         return found
 
+    # -- crash cleanup ----------------------------------------------------------------
+    def purge_txn(self, txn_id: int) -> None:
+        """Silently drop every trace of ``txn_id`` (fault-injection kill).
+
+        Unlike :meth:`abort_waiter`, pending requests are removed *without*
+        failing their events -- the waiting process has already been killed,
+        and failing an event nobody listens to would raise at environment
+        level.  Held locks are released and compatible waiters are woken.
+        """
+        for resource, entry in list(self._table.items()):
+            if not entry.waiters:
+                continue
+            remaining: Deque[_LockRequest] = deque(
+                request for request in entry.waiters if request.txn_id != txn_id
+            )
+            if len(remaining) != len(entry.waiters):
+                entry.waiters = remaining
+                self._wake_waiters(resource, entry)
+                if not entry.holders and not entry.waiters:
+                    self._table.pop(resource, None)
+        self.release_all(txn_id)
+
     # -- inspection --------------------------------------------------------------------
     def holds(self, txn_id: int, resource: object) -> bool:
         entry = self._table.get(resource)

@@ -44,7 +44,14 @@ class TransactionManager:
         """
         self.input_queue_monitor.add(1)
         request = self._slots.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            # Aborted (killed / deadlock-failed) while waiting for or holding
+            # an unconsumed slot: give it back so the MPL slot cannot leak.
+            self._slots.release(request)
+            self.input_queue_monitor.add(-1)
+            raise
         self.input_queue_monitor.add(-1)
         self._active[transaction.txn_id] = transaction
         self.admitted += 1

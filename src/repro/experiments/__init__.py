@@ -9,6 +9,7 @@ scenario registry.
 
 from repro.experiments import (
     dynamic,
+    faults,
     figure1,
     figure5,
     figure6,
@@ -40,6 +41,7 @@ from repro.experiments.table_parameters import render as render_parameter_table
 
 __all__ = [
     "dynamic",
+    "faults",
     "figure1",
     "figure5",
     "figure6",

@@ -9,6 +9,8 @@ a windowed timeline additionally contribute one row per window
 mean of an aggregated point).  On heterogeneous systems each window also
 yields one row per node class (``row_type="window_class"`` /
 ``"window_class_mean"``) carrying that class's cpu/disk/mem utilisation.
+Window rows also carry the fault-injection observability fields
+(``availability``, ``anomaly`` -- 1.0 and empty on fault-free runs).
 The CSV header is the union of all row keys in first-appearance order, so
 every row kind shares one parseable table.
 """
@@ -50,6 +52,8 @@ def _window_row(window, scope: Dict[str, object], row_type: str) -> Dict[str, ob
             "mem_util": round(window.mem_util, 3),
             "mem_util_max": round(window.mem_util_max, 3),
             "mem_imbalance": round(window.mem_imbalance, 3),
+            "availability": round(window.availability, 4),
+            "anomaly": window.anomaly,
         }
     )
     return row

@@ -1,0 +1,415 @@
+"""Runtime fault injector.
+
+:class:`FaultRuntime` interprets an expanded fault plan inside a running
+:class:`~repro.simulation.system.ParallelSystem`: an injector *process*
+sleeps until each event's instant and applies it -- killing and
+resubmitting in-flight work for crashes, swapping hardware configs for
+stragglers (splitting any active coalesced macro-event first, PR 6), and
+simulating explicit repartitioning work for membership changes.
+
+The runtime also owns the observability side: an availability step
+function and labeled anomaly windows, folded into per-window timeline
+rows (``availability`` / ``anomaly``) by the timeline collector.
+
+Construction discipline: a :class:`FaultRuntime` is only ever built for a
+*non-empty* plan.  Zero-fault systems carry ``faults = None`` and take the
+exact historical code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import FaultEvent, expand_events
+from repro.workload.query import JoinQuery, Transaction
+
+__all__ = ["FaultRuntime"]
+
+
+class _TxnRecord:
+    """Registry entry for one in-flight transaction."""
+
+    __slots__ = ("txn", "pes", "group")
+
+    def __init__(self, txn: Transaction, pes):
+        self.txn = txn
+        self.pes = set(pes)
+        #: Insertion-ordered dict used as an ordered set of live processes
+        #: (the root process plus every descendant, via group inheritance
+        #: in the simulation kernel).  Processes remove themselves on
+        #: termination, so an empty group means the transaction is done.
+        self.group: Dict[object, None] = {}
+
+
+class _AnomalyWindow:
+    __slots__ = ("start", "end", "kind", "pe")
+
+    def __init__(self, start: float, kind: str, pe: int):
+        self.start = start
+        self.end: Optional[float] = None
+        self.kind = kind
+        self.pe = pe
+
+
+class FaultRuntime:
+    """Interprets a fault plan against a live system."""
+
+    def __init__(self, system, events: Sequence[FaultEvent]):
+        if not events:
+            raise ValueError("FaultRuntime requires a non-empty fault plan")
+        self.system = system
+        self.env = system.env
+        self.events: List[FaultEvent] = expand_events(events)
+        num_pe = system.config.num_pe
+        for event in self.events:
+            if event.pe >= num_pe:
+                raise ValueError(
+                    f"fault targets PE {event.pe} but the system has {num_pe} PEs"
+                )
+        self.alive = [True] * num_pe
+        # Join-processor pool membership: PEs targeted by a pe_add start
+        # outside the pool and join once their rebalancing completes.
+        add_targets = {e.pe for e in self.events if e.kind == "pe_add"}
+        self.joined = [pe_id not in add_targets for pe_id in range(num_pe)]
+        self.cpu_factor = [1.0] * num_pe
+        self.disk_factor = [1.0] * num_pe
+        self._base_cpu = [pe.cpu.config for pe in system.pes]
+        self._base_disk = [pe.disks.config for pe in system.pes]
+        self._records: Dict[int, _TxnRecord] = {}
+        self._held: List[Transaction] = []
+        self._windows: List[_AnomalyWindow] = []
+        self._steps: List[Tuple[float, int, int]] = []
+        self._step(0.0)
+        self._started = False
+        # Counters (exposed in benchmarks / debugging).
+        self.injected = 0
+        self.kills = 0
+        self.resubmits = 0
+        self.holds = 0
+        self.rebalanced_pages = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._injector_loop())
+
+    def _injector_loop(self):
+        env = self.env
+        for event in self.events:
+            if event.time > env.now:
+                yield env.timeout(event.time - env.now)
+            self._apply(event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        self.injected += 1
+        self._prune_registry()
+        handler = getattr(self, f"_apply_{event.kind}")
+        handler(event)
+
+    # -- availability / anomaly bookkeeping -----------------------------------
+    def _step(self, time: float) -> None:
+        alive_joined = sum(
+            1 for pe_id in range(len(self.alive)) if self.alive[pe_id] and self.joined[pe_id]
+        )
+        joined = sum(1 for flag in self.joined if flag)
+        self._steps.append((time, alive_joined, joined))
+
+    def _open_window(self, kind: str, pe: int) -> _AnomalyWindow:
+        window = _AnomalyWindow(self.env.now, kind, pe)
+        self._windows.append(window)
+        return window
+
+    def _close_windows(self, kinds: Sequence[str], pe: int) -> None:
+        for window in self._windows:
+            if window.end is None and window.pe == pe and window.kind in kinds:
+                window.end = self.env.now
+
+    def window_stats(self, start: float, end: float) -> Tuple[float, str]:
+        """Fold the fault record into one timeline window [start, end).
+
+        Returns ``(availability, anomaly)``: availability is the
+        time-integral of alive-and-joined PEs over joined PEs (1.0 when the
+        pool was empty for the whole window -- nothing was expected of it),
+        anomaly is a stable ``kind:peN`` label join of overlapping injected
+        windows (empty when the window is clean).
+        """
+        numerator = 0.0
+        denominator = 0.0
+        steps = self._steps
+        for index, (time, alive_joined, joined) in enumerate(steps):
+            seg_start = time if time > start else start
+            seg_end = steps[index + 1][0] if index + 1 < len(steps) else end
+            if seg_end > end:
+                seg_end = end
+            if seg_end <= seg_start:
+                continue
+            numerator += alive_joined * (seg_end - seg_start)
+            denominator += joined * (seg_end - seg_start)
+        availability = numerator / denominator if denominator > 0 else 1.0
+        labels = sorted(
+            {
+                f"{window.kind}:pe{window.pe}"
+                for window in self._windows
+                if window.start < end and (window.end is None or window.end > start)
+            }
+        )
+        return availability, "+".join(labels)
+
+    # -- scheduling hooks ------------------------------------------------------
+    def eligible_processors(self) -> Tuple[int, ...]:
+        """PEs currently usable as join processors (alive and in the pool)."""
+        return tuple(
+            pe_id
+            for pe_id in range(len(self.alive))
+            if self.alive[pe_id] and self.joined[pe_id]
+        )
+
+    def _next_eligible(self, pe: int) -> Optional[int]:
+        """Cyclically next alive-and-joined PE after ``pe`` (None if none)."""
+        num_pe = len(self.alive)
+        for offset in range(1, num_pe + 1):
+            candidate = (pe + offset) % num_pe
+            if self.alive[candidate] and self.joined[candidate]:
+                return candidate
+        return None
+
+    # -- submission interception ------------------------------------------------
+    def _join_pes(self, query: JoinQuery) -> set:
+        catalog = self.system.catalog
+        pes = set(catalog.relation(query.inner_relation).node_ids)
+        pes.update(catalog.relation(query.outer_relation).node_ids)
+        return pes
+
+    def on_submit(self, transaction: Transaction) -> bool:
+        """Gate a routed transaction; False holds it for later resubmission.
+
+        Join coordinators routed onto unusable PEs are remapped (cyclically)
+        to the next usable one; joins whose *data* PEs are down, and OLTP
+        transactions whose home PE is down, are held -- data homes are fixed
+        in a Shared Nothing system, the work can only run where the data
+        lives.
+        """
+        if isinstance(transaction, JoinQuery):
+            data_pes = self._join_pes(transaction)
+            if any(not self.alive[pe_id] for pe_id in data_pes):
+                self._hold(transaction)
+                return False
+            coordinator = transaction.coordinator_pe
+            if not (self.alive[coordinator] and self.joined[coordinator]):
+                remapped = self._next_eligible(coordinator)
+                if remapped is None:
+                    self._hold(transaction)
+                    return False
+                transaction.coordinator_pe = remapped
+            return True
+        home = transaction.home_pe
+        if home is None:
+            home = transaction.coordinator_pe
+        if not self.alive[home]:
+            self._hold(transaction)
+            return False
+        return True
+
+    def _hold(self, transaction: Transaction) -> None:
+        self.holds += 1
+        self._held.append(transaction)
+
+    def track(self, transaction: Transaction, process) -> None:
+        """Register a root process (and, via inheritance, its descendants)."""
+        if isinstance(transaction, JoinQuery):
+            pes = self._join_pes(transaction)
+            pes.add(transaction.coordinator_pe)
+        else:
+            home = transaction.home_pe
+            if home is None:
+                home = transaction.coordinator_pe
+            pes = {home}
+        record = _TxnRecord(transaction, pes)
+        record.group[process] = None
+        process._group = record.group
+        self._records[transaction.txn_id] = record
+
+    def note_plan(self, query: JoinQuery, processors: Sequence[int]) -> None:
+        """Extend a join's PE set with its chosen join processors."""
+        record = self._records.get(query.txn_id)
+        if record is not None:
+            record.pes.update(processors)
+
+    def _prune_registry(self) -> None:
+        done = [
+            txn_id for txn_id, record in self._records.items() if not record.group
+        ]
+        for txn_id in done:
+            del self._records[txn_id]
+
+    # -- hardware speed control --------------------------------------------------
+    def _apply_speed(self, pe_id: int) -> None:
+        """Swap the PE's hardware configs to the current factors.
+
+        Any active coalesced macro-event is split at the fault instant first
+        (PR 6 invariant: batched == unbatched), so already-elapsed virtual
+        time is accounted at the old speed and the remainder re-runs at the
+        new one.
+        """
+        pe = self.system.pes[pe_id]
+        cpu_batch = pe.cpu.resource._batch
+        if cpu_batch is not None:
+            cpu_batch.preempt()
+        disk_batch = pe.disks._batch
+        if disk_batch is not None:
+            disk_batch.preempt()
+        cpu_factor = self.cpu_factor[pe_id]
+        base_cpu = self._base_cpu[pe_id]
+        pe.cpu.config = (
+            base_cpu
+            if cpu_factor == 1.0
+            else replace(base_cpu, mips=base_cpu.mips * cpu_factor)
+        )
+        disk_factor = self.disk_factor[pe_id]
+        base_disk = self._base_disk[pe_id]
+        # Mirrors SystemConfig.effective_disk: disk_factor scales *speed*,
+        # so every per-page and access time is divided by it.
+        pe.disks.config = (
+            base_disk
+            if disk_factor == 1.0
+            else replace(
+                base_disk,
+                controller_service_time=base_disk.controller_service_time / disk_factor,
+                transmission_time_per_page=base_disk.transmission_time_per_page / disk_factor,
+                avg_access_time=base_disk.avg_access_time / disk_factor,
+                prefetch_delay_per_page=base_disk.prefetch_delay_per_page / disk_factor,
+            )
+        )
+        self._sync_status(pe_id)
+
+    def _sync_status(self, pe_id: int) -> None:
+        """Push availability/speed into the control node's view of the PE."""
+        status = self.system.control_node.status_of(pe_id)
+        status.available = self.alive[pe_id] and self.joined[pe_id]
+        status.speed_factor = self.cpu_factor[pe_id]
+
+    # -- event handlers -----------------------------------------------------------
+    def _apply_degrade(self, event: FaultEvent) -> None:
+        self.cpu_factor[event.pe] = event.factor
+        self.disk_factor[event.pe] = event.factor
+        self._apply_speed(event.pe)
+        self._open_window("degrade", event.pe)
+
+    def _apply_disk_fail(self, event: FaultEvent) -> None:
+        self.disk_factor[event.pe] = event.factor
+        self._apply_speed(event.pe)
+        self._open_window("disk_fail", event.pe)
+
+    def _apply_restore(self, event: FaultEvent) -> None:
+        self.cpu_factor[event.pe] = 1.0
+        self.disk_factor[event.pe] = 1.0
+        self._apply_speed(event.pe)
+        self._close_windows(("degrade", "disk_fail"), event.pe)
+
+    def _apply_pe_crash(self, event: FaultEvent) -> None:
+        pe_id = event.pe
+        self.alive[pe_id] = False
+        self._step(self.env.now)
+        self._sync_status(pe_id)
+        self._open_window("pe_crash", pe_id)
+        victims = sorted(
+            txn_id
+            for txn_id, record in self._records.items()
+            if pe_id in record.pes
+        )
+        restartable: List[Transaction] = []
+        for txn_id in victims:
+            record = self._records.pop(txn_id)
+            self._kill_record(record)
+            restartable.append(record.txn)
+        if restartable:
+            self.env.process(self._resubmit_later(restartable, event.restart_delay))
+
+    def _kill_record(self, record: _TxnRecord) -> None:
+        self.kills += 1
+        # Deepest-first: descendants were inserted after their parents, and
+        # closing a child's generator before its parent keeps the parent's
+        # cleanup (finally blocks) from observing half-torn-down children.
+        for process in reversed(list(record.group)):
+            process.kill()
+        txn_id = record.txn.txn_id
+        owner = f"join-{txn_id}"
+        for pe in self.system.pes:
+            pe.locks.purge_txn(txn_id)
+            pe.buffer.purge_owner(owner)
+
+    def _resubmit_later(self, transactions: List[Transaction], delay: float):
+        if delay > 0:
+            yield self.env.timeout(delay)
+        for transaction in transactions:
+            self._resubmit(transaction)
+
+    def _resubmit(self, transaction: Transaction) -> None:
+        """Re-run a killed/held transaction, bypassing the arrival routers
+        (their RNG streams must only advance once per original arrival)."""
+        if not self.on_submit(transaction):
+            return
+        self.resubmits += 1
+        system = self.system
+        if isinstance(transaction, JoinQuery):
+            process = self.env.process(system._run_join(transaction))
+        else:
+            process = self.env.process(system._run_oltp(transaction))
+        self.track(transaction, process)
+
+    def _apply_pe_recover(self, event: FaultEvent) -> None:
+        pe_id = event.pe
+        self.alive[pe_id] = True
+        self._step(self.env.now)
+        self._sync_status(pe_id)
+        self._close_windows(("pe_crash",), pe_id)
+        self._release_held()
+
+    def _release_held(self) -> None:
+        held = self._held
+        self._held = []
+        for transaction in held:
+            self._resubmit(transaction)
+
+    def _apply_pe_add(self, event: FaultEvent) -> None:
+        window = self._open_window("pe_add", event.pe)
+        self.env.process(self._rebalance_in(event, window))
+
+    def _rebalance_in(self, event: FaultEvent, window: _AnomalyWindow):
+        """Ship partitions onto the joining PE, then admit it to the pool."""
+        donor = self._next_eligible(event.pe)
+        if event.pages > 0 and donor is not None:
+            page_size = self.system.config.buffer.page_size_bytes
+            yield from self.system.network.transfer_chain(
+                [page_size] * event.pages, src=donor, dst=event.pe
+            )
+            yield from self.system.pes[event.pe].disks.write_sequential(event.pages)
+            self.rebalanced_pages += event.pages
+        self.joined[event.pe] = True
+        self._step(self.env.now)
+        self._sync_status(event.pe)
+        window.end = self.env.now
+        self._release_held()
+
+    def _apply_pe_remove(self, event: FaultEvent) -> None:
+        pe_id = event.pe
+        self.joined[pe_id] = False
+        self._step(self.env.now)
+        self._sync_status(pe_id)
+        window = self._open_window("pe_remove", pe_id)
+        self.env.process(self._rebalance_out(event, window))
+
+    def _rebalance_out(self, event: FaultEvent, window: _AnomalyWindow):
+        """Drain the removed PE's partitions onto its cyclic successor."""
+        receiver = self._next_eligible(event.pe)
+        if event.pages > 0 and receiver is not None and self.alive[event.pe]:
+            page_size = self.system.config.buffer.page_size_bytes
+            yield from self.system.network.transfer_chain(
+                [page_size] * event.pages, src=event.pe, dst=receiver
+            )
+            yield from self.system.pes[receiver].disks.write_sequential(event.pages)
+            self.rebalanced_pages += event.pages
+        window.end = self.env.now

@@ -286,7 +286,6 @@ class CpuServer:
         self.total_instructions += instructions
         env = self.env
         resource = self.resource
-        seconds_for = self.config.seconds_for
         quantum = self._quantum
         if instructions <= quantum:
             # Fast path: most demands (message handling, per-chunk CPU work)
@@ -294,7 +293,7 @@ class CpuServer:
             req = resource.request(priority=priority)
             try:
                 yield req
-                yield Timeout(env, seconds_for(instructions))
+                yield Timeout(env, self.config.seconds_for(instructions))
             finally:
                 resource.release(req)
             return
@@ -304,6 +303,10 @@ class CpuServer:
             req = resource.request(priority=priority)
             try:
                 yield req
+                # Re-read per slice: fault injection swaps ``self.config``
+                # mid-run (stragglers), and a new slice must run at the
+                # speed in force when it starts.
+                seconds_for = self.config.seconds_for
                 if coalesce and remaining > quantum and resource._queued == 0:
                     # Uncontended: cover every remaining quantum with one
                     # macro-event.  Slice count and boundaries replicate the

@@ -514,19 +514,22 @@ class DiskArray:
         docstring); a split resumes this per-chunk loop at the boundary.
         """
         env = self.env
-        config = self.config
         controller = self.controller
         prefetch = self.prefetch
         remaining = pages
         while remaining > 0:
             chunk = prefetch if remaining > prefetch else remaining
-            busy = config.sequential_io_time(chunk)
             disk = self._pick_disk(preferred_disk)
             self.physical_ios += 1
             req = disk.request()
             batch = None
             try:
                 yield req
+                # Re-read per chunk: fault injection swaps ``self.config``
+                # mid-run (disk degradation); each chunk runs at the speed
+                # in force when its disk grant arrives.
+                config = self.config
+                busy = config.sequential_io_time(chunk)
                 if self._can_batch(disk):
                     # Chunk schedule of the remaining pages: every chunk is a
                     # full prefetch except the last.

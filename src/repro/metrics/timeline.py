@@ -58,6 +58,13 @@ class TimelineWindow:
     #: order.  Empty on uniform systems (single class), keeping their
     #: serialised timelines unchanged.
     class_util: tuple = ()
+    #: Fault-injection observability (PR 8): fraction of the expected
+    #: processor pool that was alive over the window (time-integral of
+    #: alive-and-joined PEs over joined PEs; 1.0 in fault-free runs), and a
+    #: stable ``kind:peN`` label join of the injected anomaly windows
+    #: overlapping this window (empty when clean).
+    availability: float = 1.0
+    anomaly: str = ""
 
     @property
     def duration(self) -> float:
@@ -142,12 +149,15 @@ class TimelineCollector:
     window, then :meth:`to_timeline` for the serialisable record.
     """
 
-    def __init__(self, env: Environment, pes, window: float):
+    def __init__(self, env: Environment, pes, window: float, faults=None):
         if window <= 0:
             raise ValueError(f"timeline window must be positive, got {window}")
         self.env = env
         self.pes = list(pes)
         self.window = float(window)
+        # Optional fault-injection runtime; when attached, closed windows
+        # carry per-window availability and anomaly labels.
+        self._faults = faults
         # Per-PE capacities are invariant across windows; compute them once
         # instead of per window close (windows can be short and PEs many).
         self._cpu_capacities = [pe.cpu.resource.capacity for pe in self.pes]
@@ -222,6 +232,10 @@ class TimelineCollector:
             )
             for name, indices in self._class_groups
         )
+        if self._faults is not None:
+            availability, anomaly = self._faults.window_stats(start, end)
+        else:
+            availability, anomaly = 1.0, ""
         rts = sorted(self._join_rts)
         self.windows.append(
             TimelineWindow(
@@ -246,6 +260,8 @@ class TimelineCollector:
                 mem_util_max=mem_max,
                 mem_imbalance=mem_imb,
                 class_util=class_util,
+                availability=availability,
+                anomaly=anomaly,
             )
         )
         self._join_rts = []
@@ -285,7 +301,7 @@ def aggregate_timelines(timelines: Sequence[Optional[Timeline]]) -> Optional[Tim
     metric_names = [
         f.name
         for f in fields(TimelineWindow)
-        if f.name not in ("start", "end", "class_util")
+        if f.name not in ("start", "end", "class_util", "anomaly")
     ]
     windows = []
     for index, window in enumerate(first.windows):
@@ -294,6 +310,10 @@ def aggregate_timelines(timelines: Sequence[Optional[Timeline]]) -> Optional[Tim
             / len(materialised)
             for name in metric_names
         }
+        # The anomaly label is categorical: carried when every replicate saw
+        # the same injected windows (the common case -- the plan is part of
+        # the point spec), dropped otherwise.
+        anomalies = {t.windows[index].anomaly for t in materialised}
         windows.append(
             TimelineWindow(
                 start=window.start,
@@ -301,6 +321,7 @@ def aggregate_timelines(timelines: Sequence[Optional[Timeline]]) -> Optional[Tim
                 class_util=_aggregate_class_util(
                     [t.windows[index].class_util for t in materialised]
                 ),
+                anomaly=anomalies.pop() if len(anomalies) == 1 else "",
                 **means,
             )
         )

@@ -36,7 +36,10 @@ __all__ = ["ResultCache", "default_cache_dir", "write_json_atomic"]
 #: v4: heterogeneous hardware -- ``node_classes``/``topology`` joined the
 #: payload (canonicalised to ``None`` on uniform points), and timeline
 #: windows may carry per-node-class utilisation tuples.
-CACHE_FORMAT_VERSION = 4
+#: v5: fault injection -- the ``failures`` fault-plan axis joined the
+#: payload (canonicalised to ``None`` on fault-free points), and timeline
+#: windows carry per-window ``availability``/``anomaly`` fields.
+CACHE_FORMAT_VERSION = 5
 
 
 def write_json_atomic(path: Path, payload: dict) -> None:

@@ -184,6 +184,14 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
     from repro.workload.traces import generate_trace, parse_trace
 
     config = build_config(point)
+    # Decode the point's fault plan once; ``None`` (the fault-free case)
+    # constructs no injector at all, keeping the historical code paths.
+    if point.failures:
+        from repro.faults.plan import decode_failures
+
+        faults = decode_failures(point.failures)
+    else:
+        faults = None
     if point.kind == "multi":
         measured = (
             point.measured_joins if point.measured_joins is not None else default_measured_joins()
@@ -194,7 +202,7 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
             if point.max_simulated_time is not None
             else default_time_limit()
         )
-        driver = SimulationDriver(config, strategy=point.strategy)
+        driver = SimulationDriver(config, strategy=point.strategy, faults=faults)
         return driver.run_multi_user(
             spec=build_workload(point, config) if point.arrival_kind is not None else None,
             warmup_joins=warmup,
@@ -212,7 +220,7 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
             if point.timeline_window is not None
             else DEFAULT_TIMELINE_WINDOW
         )
-        driver = SimulationDriver(config, strategy=point.strategy)
+        driver = SimulationDriver(config, strategy=point.strategy, faults=faults)
         spec = build_workload(point, config)
         # Trace arrivals: replay a captured log (``file`` parameter), or
         # materialise the spec's own arrival streams up front -- with the
@@ -262,7 +270,7 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
             duration, timeline_window=window, spec=spec, trace=trace
         )
     if point.kind == "single":
-        driver = SimulationDriver(config, strategy=point.strategy)
+        driver = SimulationDriver(config, strategy=point.strategy, faults=faults)
         return driver.run_single_user(
             num_queries=(
                 point.num_queries
@@ -275,7 +283,7 @@ def run_point_spec(point: PointSpec) -> SimulationResult:
             FixedDegree(point.degree, name=f"fixed({point.degree})"),
             RandomPlacement(seed=config.seed),
         )
-        driver = SimulationDriver(config, strategy=strategy)
+        driver = SimulationDriver(config, strategy=strategy, faults=faults)
         return driver.run_single_user(
             num_queries=(
                 point.num_queries

@@ -31,6 +31,11 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.config.parameters import NodeClass, TopologyConfig
+from repro.faults.plan import (
+    FailuresEntry,
+    canonical_failures as _canonical_failures,
+    failures_label as _failures_label,
+)
 from repro.workload.arrivals import ARRIVAL_KINDS
 
 __all__ = [
@@ -192,6 +197,12 @@ class Sweep:
     #: cache keys.
     node_classes: Tuple[Optional[NodeClassesEntry], ...] = (None,)
     topologies: Tuple[Optional[TopologyEntry], ...] = (None,)
+    #: Fault-plan axis: encoded :class:`~repro.faults.plan.FaultEvent`
+    #: sequences (see :data:`~repro.faults.plan.FailuresEntry`).  ``None`` /
+    #: empty entries mean fault-free execution and are canonicalised to
+    #: ``None`` at expansion, so they produce the historical points
+    #: unchanged (same seeds, same cache keys, byte-identical outputs).
+    failures: Tuple[Optional[FailuresEntry], ...] = (None,)
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -252,6 +263,10 @@ class Sweep:
             _canonical_node_classes(entry)
         for entry in self.topologies:
             _canonical_topology(entry)
+        for entry in self.failures:
+            # Decoding constructs the FaultEvents, validating kinds/values at
+            # declaration time, not in a worker.
+            _canonical_failures(entry)
         for axis, fraction in self.perturb:
             if axis not in PERTURBABLE_AXES:
                 raise ValueError(
@@ -365,6 +380,9 @@ class PointSpec:
     #: :data:`NodeClassesEntry` / :data:`TopologyEntry`).
     node_classes: Optional[NodeClassesEntry] = None
     topology: Optional[TopologyEntry] = None
+    #: Canonical fault plan of the point (``None`` = fault-free; see
+    #: :data:`~repro.faults.plan.FailuresEntry`).
+    failures: Optional[FailuresEntry] = None
 
     def cache_payload(self) -> Tuple[Tuple[str, object], ...]:
         """The (key, value) pairs that determine this point's result."""
@@ -389,6 +407,7 @@ class PointSpec:
             ("timeline_window", self.timeline_window),
             ("node_classes", self.node_classes),
             ("topology", self.topology),
+            ("failures", self.failures),
         )
 
 
@@ -396,7 +415,8 @@ def point_from_payload(payload) -> PointSpec:
     """Rebuild a :class:`PointSpec` from a JSON-decoded ``asdict`` payload.
 
     JSON round-trips turn the tuple-valued fields (``config_overrides``,
-    ``arrival_params``, ``node_classes``, ``topology``) into (nested) lists;
+    ``arrival_params``, ``node_classes``, ``topology``, ``failures``) into
+    (nested) lists;
     normalising them back keeps rebuilt points equal to the originals (and
     hashable by the result cache with byte-identical keys).
     """
@@ -421,6 +441,14 @@ def point_from_payload(payload) -> PointSpec:
         None
         if topology is None
         else tuple((str(key), value) for key, value in topology)
+    )
+    failures = data.get("failures")
+    data["failures"] = (
+        None
+        if failures is None
+        else tuple(
+            tuple((str(key), value) for key, value in event) for event in failures
+        )
     )
     return PointSpec(**data)
 
@@ -465,6 +493,7 @@ def _point_seed(
     replicate: int,
     node_classes: Optional[NodeClassesEntry] = None,
     topology: Optional[TopologyEntry] = None,
+    failures: Optional[FailuresEntry] = None,
 ) -> int:
     """Seed for one point: base seed, or a collision-free derived seed.
 
@@ -474,9 +503,9 @@ def _point_seed(
     derives from the full distinguishing coordinate tuple, never from the
     (series label, x) pair, which can be shared by distinct configurations.
 
-    The hardware axes join the component tuple only when non-default:
-    appending them unconditionally would change every existing derived seed
-    (and with it the committed golden figures).
+    The hardware and fault axes join the component tuple only when
+    non-default: appending them unconditionally would change every existing
+    derived seed (and with it the committed golden figures).
     """
     if replicate == 0 and not sweep.reseed_per_point:
         return spec.seed
@@ -495,6 +524,8 @@ def _point_seed(
     ]
     if node_classes is not None or topology is not None:
         components.extend([node_classes, topology])
+    if failures is not None:
+        components.append(failures)
     return derive_seed(spec.seed, *components)
 
 
@@ -583,16 +614,27 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
         # They join the arrival axis in one flat product to keep the historic
         # loop nesting (and with it the point order of existing scenarios).
         workload_axes = [
-            (arrival, _canonical_node_classes(raw_classes), _canonical_topology(raw_topology))
+            (
+                arrival,
+                _canonical_node_classes(raw_classes),
+                _canonical_topology(raw_topology),
+                _canonical_failures(raw_failures),
+            )
             for arrival in sweep.arrivals
             for raw_classes in sweep.node_classes
             for raw_topology in sweep.topologies
+            for raw_failures in sweep.failures
         ]
         for num_pe in sweep.system_sizes:
             for selectivity in sweep.selectivities:
                 for rate in sweep.rates:
                     for placement in sweep.oltp_placements:
-                        for arrival, node_classes_entry, topology_entry in workload_axes:
+                        for (
+                            arrival,
+                            node_classes_entry,
+                            topology_entry,
+                            failures_entry,
+                        ) in workload_axes:
                             for member in inner:
                                 strategy = None
                                 degree = None
@@ -619,6 +661,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                     arrival=arrival,
                                     nodes=_nodes_label(node_classes_entry),
                                     topology=_topology_label(topology_entry),
+                                    failures=_failures_label(failures_entry),
                                 )
                                 if sweep.num_queries is not None:
                                     num_queries = sweep.num_queries
@@ -651,6 +694,8 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                             node_classes_entry,
                                             topology_entry,
                                         )
+                                    if failures_entry is not None:
+                                        coordinates += (failures_entry,)
                                     seed = _point_seed(
                                         spec,
                                         sweep,
@@ -664,6 +709,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                         replicate=replicate,
                                         node_classes=node_classes_entry,
                                         topology=topology_entry,
+                                        failures=failures_entry,
                                     )
                                     point_rate, point_selectivity = _perturbed_axes(
                                         spec,
@@ -715,6 +761,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                             timeline_window=window,
                                             node_classes=node_classes_entry,
                                             topology=topology_entry,
+                                            failures=failures_entry,
                                         )
                                     )
     return tuple(points)

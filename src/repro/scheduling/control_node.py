@@ -38,6 +38,12 @@ class NodeStatus:
     # hardware).  Lets the rankings below compare *absolute* headroom across
     # heterogeneous nodes instead of raw utilisation percentages.
     cpu_capacity: float = 1.0
+    # Failure awareness (PR 8): dead / not-yet-joined PEs are excluded from
+    # the rankings; degraded stragglers are down-weighted by their current
+    # speed factor.  Maintained by the fault injector; always (True, 1.0)
+    # in fault-free runs.
+    available: bool = True
+    speed_factor: float = 1.0
 
 
 class ControlNode:
@@ -62,8 +68,15 @@ class ControlNode:
         self._heterogeneous = any(
             status.cpu_capacity != 1.0 for status in self._status.values()
         )
+        # Fault awareness is off (historical code paths, bit-identical) until
+        # an injector attaches itself.
+        self._faults = None
         self.reports = 0
         self._running = False
+
+    def attach_faults(self, faults) -> None:
+        """Enable failure-aware rankings, driven by the fault injector."""
+        self._faults = faults
 
     # -- reporting -----------------------------------------------------------
     def start(self) -> None:
@@ -92,33 +105,42 @@ class ControlNode:
     def status_of(self, pe_id: int) -> NodeStatus:
         return self._status[pe_id]
 
+    def _ranked_statuses(self):
+        """Statuses the strategies may consider: all of them historically,
+        only the available ones once a fault injector is attached."""
+        if self._faults is None:
+            return self._status.values()
+        return [status for status in self._status.values() if status.available]
+
     def average_cpu_utilization(self) -> float:
-        """Current average CPU utilisation over all processors (for 3.2)."""
-        if not self._status:
+        """Current average CPU utilisation over all (available) processors
+        (for 3.2)."""
+        statuses = self._ranked_statuses()
+        if not statuses:
             return 0.0
-        return sum(status.cpu_utilization for status in self._status.values()) / len(
-            self._status
-        )
+        return sum(status.cpu_utilization for status in statuses) / len(statuses)
 
     def average_effective_cpu_utilization(self) -> float:
         """Capacity-weighted CPU utilisation: the fraction of the system's
         aggregate MIPS currently busy.  Equals :meth:`average_cpu_utilization`
-        on uniform hardware (and takes that exact code path there)."""
-        if not self._heterogeneous:
+        on uniform, fault-free hardware (and takes that exact code path
+        there); with faults active, degraded stragglers contribute their
+        reduced capacity."""
+        if not self._heterogeneous and self._faults is None:
             return self.average_cpu_utilization()
         busy = 0.0
         capacity = 0.0
-        for status in self._status.values():
-            busy += status.cpu_utilization * status.cpu_capacity
-            capacity += status.cpu_capacity
+        for status in self._ranked_statuses():
+            effective = status.cpu_capacity * status.speed_factor
+            busy += status.cpu_utilization * effective
+            capacity += effective
         return busy / capacity if capacity else 0.0
 
     def average_disk_utilization(self) -> float:
-        if not self._status:
+        statuses = self._ranked_statuses()
+        if not statuses:
             return 0.0
-        return sum(status.disk_utilization for status in self._status.values()) / len(
-            self._status
-        )
+        return sum(status.disk_utilization for status in statuses) / len(statuses)
 
     def average_memory_utilization(self) -> float:
         total = 0.0
@@ -133,20 +155,24 @@ class ControlNode:
         in the paper's data structure AVAIL-MEMORY[1..n].
         """
         return sorted(
-            self._status.values(),
+            self._ranked_statuses(),
             key=lambda status: (-status.free_memory_pages, status.pe_id),
         )
 
     def nodes_by_cpu(self) -> List[NodeStatus]:
-        """All nodes sorted for LUC: least CPU load first, PE index breaking
-        ties.  On heterogeneous hardware "least loaded" means the most
-        *absolute* idle MIPS -- a fast node at 50 % has more headroom than a
-        slow node at 40 % -- so the ranking normalises by capacity."""
-        if self._heterogeneous:
+        """All usable nodes sorted for LUC: least CPU load first, PE index
+        breaking ties.  On heterogeneous hardware "least loaded" means the
+        most *absolute* idle MIPS -- a fast node at 50 % has more headroom
+        than a slow node at 40 % -- so the ranking normalises by capacity;
+        with faults active, dead PEs are excluded and stragglers are
+        down-weighted by their current speed factor."""
+        if self._heterogeneous or self._faults is not None:
             return sorted(
-                self._status.values(),
+                self._ranked_statuses(),
                 key=lambda status: (
-                    -(1.0 - status.cpu_utilization) * status.cpu_capacity,
+                    -(1.0 - status.cpu_utilization)
+                    * status.cpu_capacity
+                    * status.speed_factor,
                     status.pe_id,
                 ),
             )

@@ -446,7 +446,7 @@ class Process(Event):
     terminates; its value is the generator's return value.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_group")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -456,6 +456,13 @@ class Process(Event):
         self._value = PENDING
         self._ok = True
         self._generator = generator
+        # Inherit the spawning process's kill-group (if any) so that child
+        # processes spawned mid-task can be torn down with their parent.
+        parent = env._active_process
+        group = getattr(parent, "_group", None) if parent is not None else None
+        self._group = group
+        if group is not None:
+            group[self] = None
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -484,6 +491,44 @@ class Process(Event):
                 pass
         self.env._schedule(interrupt_event)
 
+    def _leave_group(self) -> None:
+        group = self._group
+        if group is not None:
+            self._group = None
+            group.pop(self, None)
+
+    def kill(self) -> None:
+        """Terminate the process immediately, without scheduling anything.
+
+        Unlike :meth:`interrupt`, the generator is closed synchronously
+        (``GeneratorExit`` runs its ``finally`` blocks, releasing resource
+        requests, finalizing batches and freeing memory) and the process
+        event never fires -- waiters, if any, are simply never resumed.
+        This is the primitive used by fault injection to abort in-flight
+        work on a crashed PE.
+        """
+        if self._value is not PENDING:  # already terminated
+            return
+        target = self._target
+        if target is not None:
+            callbacks = target.callbacks
+            if callbacks is not None and callbacks is not PROCESSED:
+                try:
+                    callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+                # A failed event (e.g. a deadlock abort racing the kill at
+                # the same instant) with no remaining listeners would raise
+                # at environment level when popped; defuse it.
+                if not callbacks and not target._ok:
+                    target._ok = True
+                    target._value = None
+        self._target = None
+        self._leave_group()
+        self._ok = True
+        self._value = None
+        self._generator.close()
+
     def _resume(self, event: Event) -> None:
         env = self.env
         generator = self._generator
@@ -498,6 +543,7 @@ class Process(Event):
             except StopIteration as stop:
                 self._target = None
                 env._active_process = None
+                self._leave_group()
                 if self._value is PENDING:
                     self._ok = True
                     self._value = stop.value
@@ -506,6 +552,7 @@ class Process(Event):
             except BaseException as exc:
                 self._target = None
                 env._active_process = None
+                self._leave_group()
                 if self._value is PENDING:
                     self._ok = False
                     self._value = exc

@@ -48,9 +48,10 @@ class SimulationDriver:
         self,
         config: SystemConfig,
         strategy: Union[str, LoadBalancingStrategy] = "OPT-IO-CPU",
+        faults=None,
     ):
         self.config = config
-        self.system = ParallelSystem(config, strategy)
+        self.system = ParallelSystem(config, strategy, faults=faults)
         self.env = self.system.env
 
     # -- multi-user ----------------------------------------------------------------
@@ -112,7 +113,9 @@ class SimulationDriver:
         else:
             WorkloadGenerator(self.env, spec, self.system.submit).start()
         self.system.metrics.start_measurement(self.system.pes)
-        collector = TimelineCollector(self.env, self.system.pes, timeline_window)
+        collector = TimelineCollector(
+            self.env, self.system.pes, timeline_window, faults=self.system.faults
+        )
         self.system.metrics.timeline = collector
         collector.start()
         self.env.run(until=duration)

@@ -44,6 +44,7 @@ class ParallelSystem:
         config: SystemConfig,
         strategy: Union[str, LoadBalancingStrategy] = "OPT-IO-CPU",
         env: Optional[Environment] = None,
+        faults=None,
     ):
         self.config = config
         self.env = env if env is not None else Environment()
@@ -88,6 +89,17 @@ class ParallelSystem:
             build_cost_profile(config.oltp, config.costs) if config.oltp is not None else None
         )
         self._oltp_rng = random.Random(config.seed + 3)
+
+        # Fault injection (PR 8).  ``faults`` is a sequence of FaultEvent
+        # records; an empty/None plan constructs nothing at all so that
+        # fault-free runs stay byte-identical to the historical goldens.
+        if faults:
+            from repro.faults.injector import FaultRuntime
+
+            self.faults: Optional[FaultRuntime] = FaultRuntime(self, faults)
+            self.control_node.attach_faults(self.faults)
+        else:
+            self.faults = None
         self._started = False
         self.submitted = 0
         self.rejected = 0
@@ -100,6 +112,8 @@ class ParallelSystem:
         self._started = True
         self.control_node.start()
         self.deadlock_detector.start()
+        if self.faults is not None:
+            self.faults.start()
 
     def _abort_waiter(self, txn_id: int) -> bool:
         aborted = False
@@ -114,16 +128,34 @@ class ParallelSystem:
         self.submitted += 1
         if isinstance(transaction, JoinQuery):
             self._join_router.route(transaction)
-            self.env.process(self._run_join(transaction))
+            if self.faults is not None:
+                if not self.faults.on_submit(transaction):
+                    return  # held until the PEs it needs are back
+                process = self.env.process(self._run_join(transaction))
+                self.faults.track(transaction, process)
+            else:
+                self.env.process(self._run_join(transaction))
         elif isinstance(transaction, OltpTransaction):
             self._oltp_router.route(transaction)
-            self.env.process(self._run_oltp(transaction))
+            if self.faults is not None:
+                if not self.faults.on_submit(transaction):
+                    return
+                process = self.env.process(self._run_oltp(transaction))
+                self.faults.track(transaction, process)
+            else:
+                self.env.process(self._run_oltp(transaction))
         else:
             self.rejected += 1
             raise TypeError(f"unsupported transaction type: {type(transaction).__name__}")
 
     # -- execution paths --------------------------------------------------------------------
     def scheduling_context(self) -> SchedulingContext:
+        if self.faults is not None:
+            return SchedulingContext(
+                cost_model=self.cost_model,
+                control=self.control_node,
+                eligible_processors=self.faults.eligible_processors(),
+            )
         return SchedulingContext(cost_model=self.cost_model, control=self.control_node)
 
     def _run_join(self, query: JoinQuery):
@@ -131,6 +163,8 @@ class ParallelSystem:
         slot = yield from coordinator.transactions.admit(query)
         try:
             plan = self.strategy.plan_join(query, self.scheduling_context())
+            if self.faults is not None:
+                self.faults.note_plan(query, plan.processors)
             result = yield from execute_join_query(self, query, plan)
             self.metrics.record_join(
                 response_time=self.env.now - query.arrival_time,

@@ -446,6 +446,117 @@ def test_network_transfer_chain_is_bit_identical_and_saves_events():
     assert env_b.events_coalesced > 0
 
 
+# ---------------------------------------------------------------------------
+# fault injection vs coalescing (PR 8)
+# ---------------------------------------------------------------------------
+
+def test_cpu_degrade_mid_macro_is_bit_identical():
+    # A fault injector halves the CPU speed at 7 ms, mid-macro (quantum
+    # boundaries every 5 ms).  The injector splits any active batch first
+    # (FaultRuntime._apply_speed), so elapsed quanta are accounted at the
+    # old speed and the remainder re-runs at the new one -- exactly what
+    # the unbatched loop's per-slice config re-read produces.
+    from dataclasses import replace
+
+    def workload(env, cpu, trace):
+        def work():
+            yield from cpu.consume(1_000_000)  # 10 quanta of 5 ms
+            trace.append(("done", env.now))
+            trace.append(("busy", cpu.resource.snapshot()))
+
+        def fault():
+            yield Timeout(env, 0.007)
+            batch = cpu.resource._batch
+            if batch is not None:
+                batch.preempt()
+            cpu.config = replace(cpu.config, mips=cpu.config.mips * 0.5)
+
+        env.process(work())
+        env.process(fault())
+
+    _, _, trace_a = _run_cpu(False, workload)
+    _, _, trace_b = _run_cpu(True, workload)
+    assert trace_a == trace_b
+    # Quanta 1-2 run at 5 ms (the swap lands mid-quantum-2, which finishes
+    # at the old speed), the remaining 8 at 10 ms: done at 90 ms.
+    assert trace_b[0] == ("done", pytest.approx(0.090))
+
+
+def test_cpu_crash_mid_macro_matches_unbatched_cleanup():
+    # A crash kills the holder at 7 ms, mid-macro.  Process.kill() closes
+    # the generator: consume()'s finally blocks sync the batch's elapsed
+    # accounting and release the CPU, so a competitor's grant time and the
+    # busy-time integral match the unbatched run exactly.
+    def workload(env, cpu, trace):
+        def work():
+            yield from cpu.consume(1_000_000)
+            trace.append(("done", env.now))  # must never fire
+
+        def competitor():
+            yield Timeout(env, 0.009)
+            yield from cpu.consume(100_000)
+            trace.append(("competitor", env.now))
+            trace.append(("busy", cpu.resource.snapshot()))
+
+        victim = env.process(work())
+
+        def fault():
+            yield Timeout(env, 0.007)
+            victim.kill()
+
+        env.process(fault())
+        env.process(competitor())
+
+    _, _, trace_a = _run_cpu(False, workload)
+    _, _, trace_b = _run_cpu(True, workload)
+    assert trace_a == trace_b
+    assert trace_b[0][0] == "competitor"
+    # The victim never completes; the CPU frees at the kill instant, so the
+    # competitor runs uncontended 9..14 ms.
+    assert trace_b[0][1] == pytest.approx(0.014)
+    assert all(entry[0] != "done" for entry in trace_b)
+
+
+def test_disk_degrade_mid_chain_is_bit_identical():
+    # Disk analog: the straggler swap lands inside the first chunk of a
+    # coalesced sequential chain.  The in-progress chunk finishes at the
+    # speed it started with (its service time was fixed at the disk grant);
+    # later chunks re-read the config -- batched and unbatched alike.
+    from dataclasses import replace
+
+    def slow(config, factor):
+        # Mirrors FaultRuntime._apply_speed: factor scales speed, so the
+        # per-page and access times divide by it.
+        return replace(
+            config,
+            controller_service_time=config.controller_service_time / factor,
+            transmission_time_per_page=config.transmission_time_per_page / factor,
+            avg_access_time=config.avg_access_time / factor,
+            prefetch_delay_per_page=config.prefetch_delay_per_page / factor,
+        )
+
+    def workload(env, disks, trace):
+        def io():
+            yield from disks.read_sequential(12)  # 3 chunks of 4 pages
+            trace.append(("done", env.now, disks.physical_ios))
+            trace.append(("busy", disks.snapshot()))
+
+        def fault():
+            yield Timeout(env, 0.010)  # inside the first chunk
+            batch = disks._batch
+            if batch is not None:
+                batch.preempt()
+            disks.config = slow(disks.config, 0.5)
+
+        env.process(io())
+        env.process(fault())
+
+    _, _, trace_a = _run_disk(False, workload)
+    _, _, trace_b = _run_disk(True, workload)
+    assert trace_a == trace_b
+    assert trace_b[0][0] == "done"
+
+
 def test_network_chain_with_contention_falls_back_to_per_message():
     env = Environment()
     net = Network(env, NetworkConfig(), InstructionCosts(), model_contention=True)

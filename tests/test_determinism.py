@@ -132,3 +132,21 @@ def test_figure9_mixed_point_invariant_under_hash_randomisation():
         )
         outputs.append(json.loads(proc.stdout))
     assert outputs[0] == outputs[1]
+
+
+def test_empty_fault_plan_is_byte_invisible(monkeypatch):
+    """PR 8: the fault layer is wired into every run, but an empty plan must
+    construct no injector and take the exact historical code paths -- field
+    for field, with coalescing on and off."""
+    from repro.experiments.scenarios import mixed_workload_config
+    from repro.simulation.driver import SimulationDriver
+
+    def run(faults):
+        driver = SimulationDriver(
+            mixed_workload_config(6), strategy="OPT-IO-CPU", faults=faults
+        )
+        return driver.run_timed(10.0, timeline_window=2.0).to_dict()
+
+    for mode in ("1", "0"):
+        monkeypatch.setenv("REPRO_COALESCE", mode)
+        assert run(None) == run(())

@@ -412,3 +412,78 @@ def test_sweep_rejects_orphan_arrival_params():
     with pytest.raises(ValueError, match="arrival_params"):
         Sweep(kind="timeline", scenario="homogeneous", strategies=("S",),
               system_sizes=(4,), arrival_params=(("surge_factor", 3.0),))
+
+
+# -- fault observability (PR 8) -----------------------------------------------------
+def test_window_fault_fields_default_clean_and_round_trip():
+    assert TimelineWindow(start=0, end=1).availability == 1.0
+    assert TimelineWindow(start=0, end=1).anomaly == ""
+    timeline = Timeline(window=1.0, windows=[
+        TimelineWindow(start=0, end=1, availability=0.75, anomaly="pe_crash:pe1")
+    ])
+    back = Timeline.from_dict(json.loads(json.dumps(timeline.to_dict())))
+    assert back.windows[0].availability == 0.75
+    assert back.windows[0].anomaly == "pe_crash:pe1"
+    assert back == timeline
+
+
+def test_aggregate_timelines_availability_mean_and_anomaly_carry():
+    def tl(availability, anomaly):
+        return Timeline(window=1.0, windows=[
+            TimelineWindow(start=0, end=1, availability=availability, anomaly=anomaly)
+        ])
+
+    same = aggregate_timelines([tl(0.5, "pe_crash:pe1"), tl(1.0, "pe_crash:pe1")])
+    assert same.windows[0].availability == pytest.approx(0.75)
+    # The anomaly label is categorical: carried when replicates agree...
+    assert same.windows[0].anomaly == "pe_crash:pe1"
+    # ...dropped (not concatenated) when they do not.
+    mixed = aggregate_timelines([tl(0.5, "degrade:pe1"), tl(1.0, "pe_crash:pe2")])
+    assert mixed.windows[0].anomaly == ""
+
+
+def test_close_window_with_no_completions_is_guarded():
+    # A window in which nothing completed must fold to zero filler stats --
+    # never a ZeroDivisionError (empty rts / empty oltp lists).
+    from repro.metrics.timeline import TimelineCollector
+
+    driver = SimulationDriver(homogeneous_config(2))
+    collector = TimelineCollector(driver.env, driver.system.pes, 1.0)
+    collector.start()
+    driver.env.run(until=2.5)
+    collector.finalize()
+    timeline = collector.to_timeline()
+    assert len(timeline) == 3
+    for window in timeline:
+        assert window.joins_completed == 0
+        assert window.join_rt_mean == 0.0
+        assert window.join_rt_p95 == 0.0
+        assert window.join_throughput == 0.0
+        assert window.availability == 1.0
+        assert window.anomaly == ""
+
+
+def test_recovery_table_renders_empty_windows_as_missing():
+    # The faults scenario's recovery-curve renderer shows "--" for windows
+    # with no completions (a halted window has no mean, not a zero mean).
+    from repro.experiments.base import ExperimentPoint, ExperimentResult
+    from repro.experiments.faults import render_recovery_table
+    from repro.simulation.results import SimulationResult
+
+    timeline = Timeline(window=1.0, windows=[
+        TimelineWindow(start=0, end=1, joins_completed=2, join_rt_mean=0.5),
+        TimelineWindow(start=1, end=2, joins_completed=0, join_rt_mean=0.0),
+    ])
+    result = SimulationResult(
+        strategy="S", num_pe=2, mode="timed", simulated_seconds=2.0,
+        joins_completed=2, join_response_time=0.5, join_response_time_p95=0.5,
+        join_response_time_ci=0.0, average_degree=1.0, average_overflow_pages=0.0,
+        average_memory_wait=0.0, cpu_utilization=0.5, disk_utilization=0.5,
+        memory_utilization=0.5, timeline=timeline,
+    )
+    experiment = ExperimentResult(figure="faults", title="t", x_label="x")
+    experiment.add(ExperimentPoint(figure="faults", series="S", x=2.0, result=result))
+    table = render_recovery_table(experiment)
+    lines = table.splitlines()
+    assert any("500.0" in line for line in lines)
+    assert any("--" in line for line in lines if line.startswith("[   1.0"))

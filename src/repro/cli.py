@@ -25,8 +25,8 @@ sweeps).  ``--arrival {poisson,deterministic,mmpp,sine,step,trace}`` drives
 the sweep with a (possibly non-stationary) arrival process and records a
 windowed time series per run.
 
-Distributed sweeps shard a scenario's points across worker processes (on
-one host or many, through a shared directory)::
+Distributed sweeps shard a scenario's points across worker processes, either
+through a shared queue directory or through a long-lived HTTP coordinator::
 
     repro-lb dispatch figure5 --queue-dir /mnt/queue --replicates 5
     repro-lb worker --queue-dir /mnt/queue          # on each host
@@ -34,9 +34,15 @@ one host or many, through a shared directory)::
     repro-lb experiment figure5 --replicates 5 \
         --distributed --queue-dir /mnt/queue --export csv
 
-``experiment``/``sweep`` with ``--distributed --queue-dir`` enqueue any
-missing points, wait for workers to drain the queue and fold the results in
-expansion order -- output is byte-identical to a local ``--workers N`` run.
+    repro-lb serve --port 8723                      # coordinator host
+    repro-lb worker --backend http --url http://coord:8723   # any host
+    repro-lb experiment figure5 --url http://coord:8723 --export csv
+    curl http://coord:8723/metrics                  # Prometheus scrape
+
+``experiment``/``sweep`` with a queue target (``--queue-dir`` or ``--url``)
+enqueue any missing points, wait for workers to drain the queue and fold the
+results in expansion order -- output is byte-identical to a local
+``--workers N`` run over either backend.
 """
 
 from __future__ import annotations
@@ -47,14 +53,14 @@ from typing import Optional, Sequence
 
 from repro.config.parameters import OltpConfig, SystemConfig
 from repro.experiments import render_parameter_table
-from repro.experiments.base import make_runner
 from repro.runner import (
     ParallelRunner,
-    ResultCache,
+    RunnerConfig,
     ScenarioSpec,
     Sweep,
     available_scenarios,
     build_scenario,
+    make_backend,
 )
 from repro.runner.queue import DEFAULT_LEASE_SECONDS
 from repro.runner.spec import DEFAULT_TIMELINE_WINDOW
@@ -121,8 +127,8 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help=(
             "run through a shared work queue instead of a local process pool "
-            "(requires --queue-dir; points are executed by `repro-lb worker` "
-            "processes draining that directory)"
+            "(requires --queue-dir or --url; points are executed by "
+            "`repro-lb worker` processes draining that queue)"
         ),
     )
     parser.add_argument(
@@ -130,6 +136,15 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="work-queue directory for --distributed (implies --distributed)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help=(
+            "`repro-lb serve` coordinator URL (implies --distributed; wins "
+            "over --queue-dir when both are given)"
+        ),
     )
     parser.add_argument(
         "--queue-timeout",
@@ -275,8 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dispatch.add_argument("figure", choices=available_scenarios(),
                           help="registered scenario to shard")
-    dispatch.add_argument("--queue-dir", required=True, metavar="DIR",
+    dispatch.add_argument("--queue-dir", default=None, metavar="DIR",
                           help="work-queue directory (shared across worker hosts)")
+    dispatch.add_argument("--url", default=None, metavar="URL",
+                          help="`repro-lb serve` coordinator URL (instead of --queue-dir)")
     dispatch.add_argument("--joins", type=int, default=None, help="measured joins per point")
     dispatch.add_argument("--sizes", type=int, nargs="*", default=None, help="system sizes")
     dispatch.add_argument("--time-limit", type=float, default=None,
@@ -290,8 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
         "worker",
         help="claim and execute work-queue tasks until the queue drains",
     )
-    worker.add_argument("--queue-dir", required=True, metavar="DIR",
+    worker.add_argument("--queue-dir", default=None, metavar="DIR",
                         help="work-queue directory to drain")
+    worker.add_argument("--backend", choices=("fs", "http"), default=None,
+                        help=(
+                            "queue backend kind (inferred from --queue-dir/--url "
+                            "when omitted)"
+                        ))
+    worker.add_argument("--url", default=None, metavar="URL",
+                        help="`repro-lb serve` coordinator URL (for --backend http)")
     worker.add_argument("--max-tasks", type=_replicate_count, default=None, metavar="N",
                         help="exit after claiming at most N tasks (default: drain)")
     worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
@@ -328,33 +352,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "(inspect with python -m pstats)")
 
     status = sub.add_parser("status", help="summarise a work queue's task states")
-    status.add_argument("--queue-dir", required=True, metavar="DIR",
+    status.add_argument("--queue-dir", default=None, metavar="DIR",
                         help="work-queue directory to inspect")
+    status.add_argument("--url", default=None, metavar="URL",
+                        help="`repro-lb serve` coordinator URL (instead of --queue-dir)")
     status.add_argument("--lease", type=float, default=DEFAULT_LEASE_SECONDS,
                         metavar="SECONDS",
                         help="lease timeout used to classify running vs stale leases")
     status.add_argument("--json", action="store_true",
                         help="print machine-readable JSON instead of the text summary")
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the HTTP coordinator: an in-memory work queue + result store "
+            "with /sweeps submission and a Prometheus /metrics endpoint"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8723; 0 picks a free port)")
+    serve.add_argument("--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+                       metavar="SECONDS",
+                       help="lease/heartbeat timeout handed to connecting workers")
+    serve.add_argument("--max-retries", type=_replicate_count, default=3, metavar="N",
+                       help="attempts per task before it is marked failed")
+    serve.add_argument(
+        "--shard-windows", type=int, default=0, metavar="W",
+        help=(
+            "shard long timeline points into W-window prefix subtasks so "
+            "/metrics streams per-window gauges while the sweep runs "
+            "(0 disables sharding)"
+        ),
+    )
     return parser
 
 
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
-    if args.queue_dir is None and args.distributed:
-        raise SystemExit("--distributed requires --queue-dir DIR")
-    if args.queue_dir is not None:
-        if args.no_cache or args.cache_dir:
-            print(
-                "note: distributed runs keep results in the queue's own store; "
-                "--no-cache/--cache-dir are ignored",
-                file=sys.stderr,
-            )
-        return make_runner(
-            queue_dir=args.queue_dir,
-            queue_timeout=args.queue_timeout,
-            max_attempts=args.max_retries,
-        )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return make_runner(workers=args.workers, cache=cache)
+    return RunnerConfig.from_args(args).make_runner()
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -505,9 +541,28 @@ def _run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _queue_target(args: argparse.Namespace, *, flag_hint: str) -> str:
+    """Resolve a subcommand's queue target (URL wins over directory)."""
+    backend = getattr(args, "backend", None)
+    url = getattr(args, "url", None)
+    queue_dir = getattr(args, "queue_dir", None)
+    if backend == "http" and url is None:
+        raise SystemExit("--backend http requires --url URL")
+    if backend == "fs" and queue_dir is None:
+        raise SystemExit("--backend fs requires --queue-dir DIR")
+    if backend == "fs":
+        return queue_dir
+    if url is not None:
+        return url
+    if queue_dir is not None:
+        return queue_dir
+    raise SystemExit(f"{flag_hint} requires --queue-dir DIR or --url URL")
+
+
 def _run_dispatch(args: argparse.Namespace) -> int:
     from repro.runner import DistributedRunner
 
+    target = _queue_target(args, flag_hint="dispatch")
     spec = _experiment_spec(args)
     if args.replicates > 1:
         spec = spec.with_replicates(args.replicates)
@@ -518,21 +573,22 @@ def _run_dispatch(args: argparse.Namespace) -> int:
     if not points:
         print(f"scenario {spec.name!r} has no simulation points to dispatch")
         return 0
-    runner = DistributedRunner(args.queue_dir, max_attempts=args.max_retries)
+    runner = DistributedRunner(target, max_attempts=args.max_retries)
     summary = runner.dispatch(points)
     print(
-        f"queue {runner.queue.root}: {summary.enqueued} task(s) enqueued, "
+        f"queue {runner.queue.describe()}: {summary.enqueued} task(s) enqueued, "
         f"{summary.already_queued} already queued, {summary.already_done} already done "
         f"({len(points)} point(s), {summary.total} unique task(s))"
     )
-    print(f"drain with: repro-lb worker --queue-dir {args.queue_dir}", file=sys.stderr)
+    drain_flag = "--url" if str(target).startswith(("http://", "https://")) else "--queue-dir"
+    print(f"drain with: repro-lb worker {drain_flag} {target}", file=sys.stderr)
     return 0
 
 
 def _run_worker(args: argparse.Namespace) -> int:
     import signal
 
-    from repro.runner import Worker, WorkQueue
+    from repro.runner import Worker
 
     def terminate(signum, frame):
         # Raise through the worker loop so the current lease is released
@@ -540,9 +596,10 @@ def _run_worker(args: argparse.Namespace) -> int:
         raise SystemExit(128 + signum)
 
     signal.signal(signal.SIGTERM, terminate)
-    queue = WorkQueue(args.queue_dir, lease_seconds=args.lease)
+    target = _queue_target(args, flag_hint="worker")
+    queue = make_backend(target, lease_seconds=args.lease)
     worker = Worker(queue, worker_id=args.worker_id, poll_interval=args.poll)
-    print(f"worker {worker.worker_id}: draining {queue.root}", file=sys.stderr)
+    print(f"worker {worker.worker_id}: draining {queue.describe()}", file=sys.stderr)
     stats = worker.run(max_tasks=args.max_tasks)
     print(
         f"worker {worker.worker_id}: {stats.executed} executed, "
@@ -554,15 +611,32 @@ def _run_worker(args: argparse.Namespace) -> int:
 def _run_status(args: argparse.Namespace) -> int:
     import json as json_module
 
-    from repro.runner import WorkQueue
-
-    queue = WorkQueue(args.queue_dir, lease_seconds=args.lease)
+    target = _queue_target(args, flag_hint="status")
+    queue = make_backend(target, lease_seconds=args.lease)
     status = queue.status()
     if args.json:
         print(json_module.dumps(status.to_dict(), indent=2, sort_keys=True))
     else:
-        print(f"queue {queue.root}")
+        print(f"queue {queue.describe()}")
         print(status.render())
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import Coordinator
+    from repro.service.coordinator import DEFAULT_PORT
+
+    coordinator = Coordinator(
+        lease_seconds=args.lease,
+        max_attempts=args.max_retries,
+        shard_windows=args.shard_windows,
+    )
+    port = DEFAULT_PORT if args.port is None else args.port
+    try:
+        coordinator.serve_forever(host=args.host, port=port)
+    except KeyboardInterrupt:
+        print("coordinator: interrupted, shutting down", file=sys.stderr)
+        coordinator.stop()
     return 0
 
 
@@ -872,6 +946,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_worker(args)
     if args.command == "status":
         return _run_status(args)
+    if args.command == "serve":
+        return _run_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -32,6 +32,7 @@ __all__ = [
     "default_measured_joins",
     "default_time_limit",
     "make_runner",
+    "run_scenario",
     "run_point",
     "run_single_user_point",
     "format_table",
@@ -316,6 +317,7 @@ def format_table(result: ExperimentResult, metric, unit: str, ci_metric=None) ->
 
 
 def make_runner(
+    config: Optional["RunnerConfig"] = None,
     workers: Optional[int] = 1,
     cache: Optional["ResultCache"] = None,
     queue_dir: Optional[Union[str, "os.PathLike"]] = None,
@@ -324,24 +326,67 @@ def make_runner(
 ):
     """Select the execution driver for a scenario spec.
 
-    Without ``queue_dir`` this is a local :class:`~repro.runner.ParallelRunner`
-    over ``workers`` processes.  With ``queue_dir`` it is a
-    :class:`~repro.runner.DistributedRunner` coordinating independent
-    ``repro-lb worker`` processes through the shared queue directory (the
-    queue's own result store replaces ``cache``; ``workers`` is ignored).
-    Either driver folds results in expansion order, so the choice never
-    changes tables, aggregates or exports.
+    The preferred call passes one :class:`~repro.runner.RunnerConfig`; the
+    legacy keyword form (``workers``/``cache``/``queue_dir``/...) builds an
+    equivalent config and is kept for existing callers.  Without a queue
+    target this is a local :class:`~repro.runner.ParallelRunner` over
+    ``workers`` processes; with a queue directory or coordinator URL it is
+    a :class:`~repro.runner.DistributedRunner` coordinating independent
+    ``repro-lb worker`` processes (the backend's own result store replaces
+    ``cache``; ``workers`` is ignored).  Either driver folds results in
+    expansion order, so the choice never changes tables, aggregates or
+    exports.
     """
-    if queue_dir is None:
-        from repro.runner import ParallelRunner
+    if config is None:
+        from repro.runner import RunnerConfig
 
-        return ParallelRunner(workers=workers, cache=cache)
-    from repro.runner import DistributedRunner
+        config = RunnerConfig(
+            workers=workers,
+            cache=cache,
+            # An explicit cache object means "exactly this cache" -- a None
+            # cache then disables caching rather than falling back to the
+            # default directory, matching the historical keyword form.
+            no_cache=cache is None,
+            queue_dir=queue_dir,
+            queue_timeout=queue_timeout,
+            max_retries=max_attempts,
+        )
+    return config.make_runner()
 
-    kwargs = {"timeout": queue_timeout}
-    if max_attempts is not None:
-        kwargs["max_attempts"] = max_attempts
-    return DistributedRunner(queue_dir, **kwargs)
+
+def _resolve_runner(runner=None):
+    """A runner from ``None`` (serial default), a config, or a runner."""
+    from repro.runner import RunnerConfig
+
+    if runner is None:
+        return make_runner()
+    if isinstance(runner, RunnerConfig):
+        return runner.make_runner()
+    return runner  # an already-built runner (anything with .run)
+
+
+def run_scenario(
+    name: str,
+    runner=None,
+    replicates: int = 1,
+    **build_kwargs,
+):
+    """Run a registered scenario end to end: the generic entry point.
+
+    Looks ``name`` up in the scenario registry, builds its spec with
+    ``build_kwargs`` (the builder's own axes: ``system_sizes``,
+    ``strategies``, ``max_simulated_time``, ...), applies ``replicates``
+    and runs it through ``runner`` -- ``None`` for the serial default, a
+    :class:`~repro.runner.RunnerConfig` describing any driver, or a
+    pre-built runner.  The per-figure ``run(...)`` wrappers in
+    :mod:`repro.experiments` are one-line deprecated aliases of this.
+    """
+    from repro.runner import build_scenario
+
+    spec = build_scenario(name, **build_kwargs)
+    if replicates > 1:
+        spec = spec.with_replicates(replicates)
+    return _resolve_runner(runner).run(spec)
 
 
 def run_point(

@@ -32,8 +32,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.base import ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import ExperimentResult, make_runner, run_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = [
     "run",
@@ -162,8 +162,8 @@ register_scenario("dynamic-mmpp", build_mmpp_spec)
 
 def run(
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
     **kwargs,
 ) -> ExperimentResult:
-    """Run a dynamic-workload scenario (see :func:`build_spec` for axes)."""
-    return ParallelRunner(workers=workers, cache=cache).run(build_spec(**kwargs))
+    """Deprecated alias for ``run_scenario("dynamic", ...)``."""
+    return run_scenario("dynamic", make_runner(workers=workers, cache=cache), **kwargs)

@@ -34,9 +34,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, make_runner, run_scenario
 from repro.faults.plan import FailuresEntry, FaultEvent, encode_failures
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = [
     "run",
@@ -202,8 +202,8 @@ register_scenario("faults", build_spec)
 
 def run(
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
     **kwargs,
 ) -> ExperimentResult:
-    """Run the fault-injection scenario (see :func:`build_spec` for axes)."""
-    return ParallelRunner(workers=workers, cache=cache).run(build_spec(**kwargs))
+    """Deprecated alias for ``run_scenario("faults", ...)``."""
+    return run_scenario("faults", make_runner(workers=workers, cache=cache), **kwargs)

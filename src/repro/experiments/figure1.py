@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import ExperimentResult, make_runner, run_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = ["run", "build_spec", "DEGREES"]
 
@@ -57,20 +57,9 @@ register_scenario("figure1", build_spec)
 
 
 def run(
-    num_pe: int = 80,
-    scan_selectivity: float = 0.01,
-    degrees: Sequence[int] = DEGREES,
-    simulate: bool = True,
-    queries_per_point: int = 2,
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Reproduce the single-user response-time curve of Fig. 1a."""
-    spec = build_spec(
-        num_pe=num_pe,
-        scan_selectivity=scan_selectivity,
-        degrees=degrees,
-        simulate=simulate,
-        queries_per_point=queries_per_point,
-    )
-    return ParallelRunner(workers=workers, cache=cache).run(spec)
+    """Deprecated alias for ``run_scenario("figure1", ...)``."""
+    return run_scenario("figure1", make_runner(workers=workers, cache=cache), **kwargs)

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import PAPER_SYSTEM_SIZES, ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import ExperimentResult, PAPER_SYSTEM_SIZES, make_runner, run_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = ["run", "build_spec", "STRATEGIES"]
 
@@ -65,20 +65,9 @@ register_scenario("figure6", build_spec)
 
 
 def run(
-    system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
-    strategies: Sequence[str] = STRATEGIES,
-    measured_joins: Optional[int] = None,
-    max_simulated_time: Optional[float] = None,
-    include_single_user: bool = True,
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Reproduce Fig. 6 (response times in ms per strategy and system size)."""
-    spec = build_spec(
-        system_sizes=system_sizes,
-        strategies=strategies,
-        measured_joins=measured_joins,
-        max_simulated_time=max_simulated_time,
-        include_single_user=include_single_user,
-    )
-    return ParallelRunner(workers=workers, cache=cache).run(spec)
+    """Deprecated alias for ``run_scenario("figure6", ...)``."""
+    return run_scenario("figure6", make_runner(workers=workers, cache=cache), **kwargs)

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import ExperimentResult, make_runner, run_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = ["run", "build_spec", "degree_table", "STRATEGIES", "SYSTEM_SIZES", "ARRIVAL_RATES"]
 
@@ -73,22 +73,9 @@ register_scenario("figure7", build_spec)
 
 
 def run(
-    system_sizes: Sequence[int] = SYSTEM_SIZES,
-    arrival_rates: Sequence[float] = ARRIVAL_RATES,
-    strategies: Sequence[str] = STRATEGIES,
-    measured_joins: Optional[int] = None,
-    max_simulated_time: Optional[float] = None,
-    include_single_user: bool = True,
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Reproduce Fig. 7 (memory-bound environment, 1 % selectivity)."""
-    spec = build_spec(
-        system_sizes=system_sizes,
-        arrival_rates=arrival_rates,
-        strategies=strategies,
-        measured_joins=measured_joins,
-        max_simulated_time=max_simulated_time,
-        include_single_user=include_single_user,
-    )
-    return ParallelRunner(workers=workers, cache=cache).run(spec)
+    """Deprecated alias for ``run_scenario("figure7", ...)``."""
+    return run_scenario("figure7", make_runner(workers=workers, cache=cache), **kwargs)

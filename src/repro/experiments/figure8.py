@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import ExperimentResult, make_runner, run_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = ["run", "build_spec", "STRATEGIES", "SELECTIVITIES", "improvement_table"]
 
@@ -87,25 +87,9 @@ register_scenario("figure8", build_spec)
 
 
 def run(
-    selectivities: Sequence[float] = SELECTIVITIES,
-    strategies: Sequence[str] = STRATEGIES,
-    num_pe: int = 60,
-    measured_joins: Optional[int] = None,
-    max_simulated_time: Optional[float] = None,
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Reproduce Fig. 8.
-
-    The experiment stores the absolute response times; use
-    :func:`improvement_table` to obtain the paper's relative-improvement view
-    (the baseline psu-opt + RANDOM is included as its own series).
-    """
-    spec = build_spec(
-        selectivities=selectivities,
-        strategies=strategies,
-        num_pe=num_pe,
-        measured_joins=measured_joins,
-        max_simulated_time=max_simulated_time,
-    )
-    return ParallelRunner(workers=workers, cache=cache).run(spec)
+    """Deprecated alias for ``run_scenario("figure8", ...)``."""
+    return run_scenario("figure8", make_runner(workers=workers, cache=cache), **kwargs)

@@ -12,8 +12,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import PAPER_SYSTEM_SIZES, ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import (
+    PAPER_SYSTEM_SIZES,
+    ExperimentResult,
+    make_runner,
+    run_scenario,
+)
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = ["run", "build_spec", "STRATEGIES"]
 
@@ -63,19 +68,11 @@ register_scenario("figure9b", lambda **kwargs: build_spec(oltp_placement="B", **
 
 def run(
     oltp_placement: str = "A",
-    system_sizes: Sequence[int] = PAPER_SYSTEM_SIZES,
-    strategies: Sequence[str] = STRATEGIES,
-    measured_joins: Optional[int] = None,
-    max_simulated_time: Optional[float] = None,
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Reproduce Fig. 9a (``oltp_placement="A"``) or Fig. 9b (``"B"``)."""
-    spec = build_spec(
-        oltp_placement=oltp_placement,
-        system_sizes=system_sizes,
-        strategies=strategies,
-        measured_joins=measured_joins,
-        max_simulated_time=max_simulated_time,
+    """Deprecated alias for ``run_scenario("figure9a"/"figure9b", ...)``."""
+    return run_scenario(
+        f"figure9{oltp_placement.lower()}", make_runner(workers=workers, cache=cache), **kwargs
     )
-    return ParallelRunner(workers=workers, cache=cache).run(spec)

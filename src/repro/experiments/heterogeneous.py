@@ -29,8 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.base import ExperimentResult
-from repro.runner import ParallelRunner, ResultCache, ScenarioSpec, Sweep, register_scenario
+from repro.experiments.base import ExperimentResult, make_runner, run_scenario
+from repro.runner import ScenarioSpec, Sweep, register_scenario
 
 __all__ = [
     "run",
@@ -225,8 +225,8 @@ register_scenario("heterogeneous", build_spec)
 
 def run(
     workers: Optional[int] = 1,
-    cache: Optional[ResultCache] = None,
+    cache=None,
     **kwargs,
 ) -> ExperimentResult:
-    """Run the heterogeneous scenario (see :func:`build_spec` for axes)."""
-    return ParallelRunner(workers=workers, cache=cache).run(build_spec(**kwargs))
+    """Deprecated alias for ``run_scenario("heterogeneous", ...)``."""
+    return run_scenario("heterogeneous", make_runner(workers=workers, cache=cache), **kwargs)

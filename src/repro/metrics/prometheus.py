@@ -1,0 +1,161 @@
+"""Minimal Prometheus text exposition format (version 0.0.4), stdlib-only.
+
+The ``repro-lb serve`` coordinator scrapes as a normal Prometheus target:
+``GET /metrics`` renders gauge/counter families produced by this module.
+Only the slice of the format the coordinator needs is implemented --
+``# HELP``/``# TYPE`` headers, labelled samples, the three mandated label
+escapes (backslash, double quote, newline) and Go-style float formatting
+for the special values -- plus a strict line-grammar validator the tests
+and the CI schema check run over every scrape.
+
+https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "MetricFamily",
+    "escape_help",
+    "escape_label_value",
+    "format_value",
+    "render_families",
+    "validate_exposition",
+]
+
+#: Metric and label names must match the Prometheus data model.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One sample line: ``name{label="value",...} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\",?)*)\})?"
+    r" (?P<value>[^ ]+)(?: [0-9]+)?$"
+)
+_VALUE_RE = re.compile(r"^(?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN)$")
+
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value: backslash, double quote and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string: backslash and newline (quotes stay verbatim)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: Union[int, float, bool]) -> str:
+    """Render a sample value (Go strconv-style for the special floats)."""
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: a name, a type, help text and labelled samples."""
+
+    name: str
+    type: str  # "gauge" | "counter" | "untyped"
+    help: str
+    samples: List[Tuple[Mapping[str, object], float]] = field(default_factory=list)
+
+    def add(self, labels: Mapping[str, object], value: Union[int, float]) -> None:
+        self.samples.append((dict(labels), float(value)))
+
+    def render(self) -> str:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"invalid metric name {self.name!r}")
+        if self.type not in ("gauge", "counter", "untyped"):
+            raise ValueError(f"invalid metric type {self.type!r}")
+        lines = [
+            f"# HELP {self.name} {escape_help(self.help)}",
+            f"# TYPE {self.name} {self.type}",
+        ]
+        for labels, value in self.samples:
+            if labels:
+                for label in labels:
+                    if not _LABEL_RE.match(label):
+                        raise ValueError(f"invalid label name {label!r}")
+                rendered = ",".join(
+                    f'{label}="{escape_label_value(labels[label])}"' for label in labels
+                )
+                lines.append(f"{self.name}{{{rendered}}} {format_value(value)}")
+            else:
+                lines.append(f"{self.name} {format_value(value)}")
+        return "\n".join(lines)
+
+
+def render_families(families: Sequence[MetricFamily]) -> str:
+    """Render a full exposition: families in order, trailing newline."""
+    return "\n".join(family.render() for family in families) + "\n"
+
+
+def validate_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Validate Prometheus text exposition; raise ``ValueError`` on errors.
+
+    Checks the line grammar (HELP/TYPE comments, sample syntax, value
+    syntax), that every sample belongs to a family announced by a ``# TYPE``
+    line above it, and that no family is announced twice.  Returns
+    ``{family name: {"type": ..., "help": ..., "samples": count}}`` so
+    callers can assert on the scraped schema.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    current: Optional[str] = None
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            name, metric_type = parts[2], parts[3]
+            if metric_type not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {metric_type!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            families[name] = {"type": metric_type, "samples": 0}
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        if not _VALUE_RE.match(match.group("value")):
+            raise ValueError(f"line {lineno}: malformed value in: {line!r}")
+        name = match.group("name")
+        # A sample belongs to the family whose name prefixes it (counters
+        # may expose name_total etc.; we require exact match or announced).
+        if name not in families:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE header")
+        if current != name:
+            # Samples of one family must be grouped together.
+            if families[name]["samples"]:
+                raise ValueError(f"line {lineno}: interleaved samples for {name!r}")
+            current = name
+        families[name]["samples"] = int(families[name]["samples"]) + 1
+    return families

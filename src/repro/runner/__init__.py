@@ -13,15 +13,29 @@ The experiment layer is split into three pieces:
   spec into independent points and fans them out over a
   ``ProcessPoolExecutor`` (serial fallback for ``workers=1``), with an
   optional on-disk :class:`~repro.runner.cache.ResultCache`.
-* :mod:`repro.runner.queue` / :mod:`repro.runner.worker` /
-  :mod:`repro.runner.distributed` -- the multi-host layer: a
-  filesystem-backed :class:`~repro.runner.queue.WorkQueue` of durable point
-  tasks, the :class:`~repro.runner.worker.Worker` daemon that claims and
-  executes them, and the :class:`~repro.runner.distributed.DistributedRunner`
-  coordinator that enqueues a spec and folds the results in expansion order.
+* :mod:`repro.runner.backends` / :mod:`repro.runner.worker` /
+  :mod:`repro.runner.distributed` -- the multi-host layer: the
+  :class:`~repro.runner.backends.base.QueueBackend` protocol with
+  filesystem, in-memory and HTTP-coordinator implementations, the
+  :class:`~repro.runner.worker.Worker` daemon that claims and executes
+  tasks over any of them, and the
+  :class:`~repro.runner.distributed.DistributedRunner` coordinator that
+  enqueues a spec and folds the results in expansion order.
+
+:class:`~repro.runner.config.RunnerConfig` is the single construction path
+from user-facing options (CLI flags, test fixtures, figure wrappers) to the
+serial / process-pool / distributed runner they describe.
 """
 
-from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.backends import (
+    FilesystemBackend,
+    HttpBackend,
+    MemoryBackend,
+    QueueBackend,
+    make_backend,
+)
+from repro.runner.cache import ResultCache, default_cache_dir, point_key
+from repro.runner.config import RunnerConfig
 from repro.runner.distributed import DistributedRunner
 from repro.runner.queue import WorkQueue
 from repro.runner.registry import (
@@ -43,15 +57,21 @@ from repro.runner.spec import (
     derive_seed,
     expand,
     point_from_payload,
+    shard_timeline_point,
 )
 from repro.runner.worker import Worker, WorkerStats
 
 __all__ = [
     "DistributedRunner",
+    "FilesystemBackend",
+    "HttpBackend",
+    "MemoryBackend",
     "ParallelRunner",
     "PointExecutionError",
     "PointSpec",
+    "QueueBackend",
     "ResultCache",
+    "RunnerConfig",
     "ScenarioSpec",
     "Sweep",
     "WorkQueue",
@@ -65,6 +85,9 @@ __all__ = [
     "execute_point_checked",
     "expand",
     "get_scenario",
+    "make_backend",
     "point_from_payload",
+    "point_key",
     "register_scenario",
+    "shard_timeline_point",
 ]

@@ -1,0 +1,283 @@
+"""In-memory :class:`~repro.runner.backends.base.QueueBackend`.
+
+This is the queue the ``repro-lb serve`` coordinator holds: every task
+record, lease, retry ledger and result lives in process memory behind one
+re-entrant lock, so the (threaded) HTTP handlers mutate a consistent queue
+without filesystem round trips.  The semantics mirror the filesystem
+backend exactly -- same terminal states, same lease/heartbeat/staleness
+rules including the dead-pid fast path for claimants on the coordinator's
+own host -- and the shared conformance suite runs against both.
+
+It is also usable stand-alone (tests, single-process experiments): the
+``results`` adapter quacks like a :class:`~repro.runner.cache.ResultCache`
+(``get``/``put``/``key``/``hits``/``misses``/``root``), storing results as
+their ``to_dict()`` payloads so a stored-and-reloaded result round-trips
+through exactly the representation the on-disk cache and the HTTP transport
+use.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.backends.base import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    EnqueueSummary,
+    QueueBackend,
+    TaskRecord,
+    pid_alive,
+)
+from repro.runner.cache import point_key
+from repro.runner.spec import PointSpec
+from repro.simulation.results import SimulationResult
+
+__all__ = ["MemoryBackend", "MemoryResults"]
+
+
+class MemoryResults:
+    """Dict-backed result store with the :class:`ResultCache` surface.
+
+    Results are held as their JSON payloads (``SimulationResult.to_dict``)
+    and rehydrated on ``get``: the store round-trips through the same
+    representation as the on-disk cache and the HTTP transport, so a result
+    served from memory is field-identical to one served from disk.
+    """
+
+    def __init__(self, lock: Optional[threading.RLock] = None):
+        self._lock = lock or threading.RLock()
+        self._payloads: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.root = "<memory>"
+
+    def key(self, point: PointSpec) -> str:
+        return point_key(point)
+
+    def get(self, point: PointSpec) -> Optional[SimulationResult]:
+        with self._lock:
+            payload = self._payloads.get(self.key(point))
+            if payload is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return SimulationResult.from_dict(payload)
+
+    def put(self, point: PointSpec, result: SimulationResult) -> str:
+        key = self.key(point)
+        with self._lock:
+            self._payloads[key] = result.to_dict()
+        return key
+
+    def get_payload(self, task_id: str) -> Optional[dict]:
+        """The stored raw result payload, for serving over HTTP."""
+        with self._lock:
+            return self._payloads.get(task_id)
+
+    def put_payload(self, task_id: str, payload: dict) -> None:
+        with self._lock:
+            self._payloads[task_id] = payload
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._payloads)
+
+
+class MemoryBackend(QueueBackend):
+    """Lock-protected in-process queue with filesystem-backend semantics."""
+
+    def __init__(self, lease_seconds: float = DEFAULT_LEASE_SECONDS):
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be positive, got {lease_seconds}")
+        self.lease_seconds = float(lease_seconds)
+        self._lock = threading.RLock()
+        self._tasks: Dict[str, TaskRecord] = {}
+        self._leases: Dict[str, Dict[str, object]] = {}
+        self._done: Dict[str, Dict[str, object]] = {}
+        self._failed: Dict[str, Dict[str, object]] = {}
+        self._results = MemoryResults(self._lock)
+        self._host = socket.gethostname()
+
+    @property
+    def results(self) -> MemoryResults:
+        return self._results
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The backend's lock, shared with coordinator-level bookkeeping."""
+        return self._lock
+
+    def describe(self) -> str:
+        return "<memory>"
+
+    # -- enqueue -------------------------------------------------------------------
+    def enqueue(
+        self, points: Sequence[PointSpec], max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> EnqueueSummary:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        enqueued = already_queued = already_done = 0
+        seen: set = set()
+        with self._lock:
+            for point in points:
+                task_id = self.task_id(point)
+                if task_id in seen:
+                    continue
+                seen.add(task_id)
+                created = task_id not in self._tasks
+                if created:
+                    self._tasks[task_id] = TaskRecord(
+                        task_id=task_id,
+                        point=point,
+                        max_attempts=int(max_attempts),
+                        enqueued_at=time.time(),
+                    )
+                if task_id in self._done:
+                    already_done += 1
+                elif self._results.get_payload(task_id) is not None:
+                    # Pre-seeded result (e.g. a re-submitted sweep): mark it
+                    # done so no worker wastes a slot re-running it.
+                    self.mark_done(task_id, worker="dispatch", attempts=0)
+                    already_done += 1
+                elif created:
+                    enqueued += 1
+                else:
+                    already_queued += 1
+        return EnqueueSummary(
+            enqueued=enqueued, already_queued=already_queued, already_done=already_done
+        )
+
+    # -- task inspection -----------------------------------------------------------
+    def task_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tasks)
+
+    def load_task(self, task_id: str) -> Optional[TaskRecord]:
+        with self._lock:
+            return self._tasks.get(task_id)
+
+    def is_done(self, task_id: str) -> bool:
+        with self._lock:
+            return task_id in self._done
+
+    def attempts(self, task_id: str) -> int:
+        with self._lock:
+            data = self._failed.get(task_id)
+            return int(data["attempts"]) if data else 0
+
+    def last_error(self, task_id: str) -> Optional[str]:
+        with self._lock:
+            data = self._failed.get(task_id)
+            if not data or not data["errors"]:
+                return None
+            return str(data["errors"][-1]["error"])
+
+    # -- leases --------------------------------------------------------------------
+    def _lease_is_stale(self, lease: Dict[str, object], now: Optional[float] = None) -> bool:
+        now = time.time() if now is None else now
+        if lease.get("host") == self._host:
+            pid = lease.get("pid")
+            if isinstance(pid, int) and not pid_alive(pid):
+                return True
+        return now - float(lease.get("heartbeat_at", 0.0)) > self.lease_seconds
+
+    def lease_state(self, task_id: str, now: Optional[float] = None) -> Optional[str]:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None:
+                return None
+            return "stale" if self._lease_is_stale(lease, now) else "running"
+
+    def try_claim(
+        self,
+        task_id: str,
+        worker: str,
+        host: Optional[str] = None,
+        pid: Optional[int] = None,
+    ) -> bool:
+        import os
+
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is not None:
+                if not self._lease_is_stale(lease):
+                    return False
+                del self._leases[task_id]  # reclaim: the lock arbitrates
+            now = time.time()
+            self._leases[task_id] = {
+                "task_id": task_id,
+                "worker": worker,
+                "host": self._host if host is None else host,
+                "pid": os.getpid() if pid is None else pid,
+                "claimed_at": now,
+                "heartbeat_at": now,
+            }
+            return True
+
+    def heartbeat(self, task_id: str, worker: str) -> bool:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None or lease.get("worker") != worker:
+                return False
+            lease["heartbeat_at"] = time.time()
+            return True
+
+    def release(self, task_id: str, worker: Optional[str] = None) -> None:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None:
+                return
+            if worker is not None and lease.get("worker") != worker:
+                return
+            del self._leases[task_id]
+
+    # -- completion / failure ------------------------------------------------------
+    def mark_done(self, task_id: str, worker: str, attempts: int) -> None:
+        with self._lock:
+            self._done[task_id] = {
+                "task_id": task_id,
+                "worker": worker,
+                "attempts": int(attempts),
+                "completed_at": time.time(),
+            }
+
+    def complete(
+        self,
+        task_id: str,
+        point: PointSpec,
+        result: Optional[SimulationResult],
+        worker: str,
+    ) -> None:
+        with self._lock:
+            if result is not None:
+                self._results.put(point, result)
+            self.mark_done(task_id, worker, attempts=self.attempts(task_id))
+            self.release(task_id, worker)
+
+    def complete_payload(self, task_id: str, payload: dict, worker: str) -> None:
+        """Completion path for the HTTP handler: store the raw result dict."""
+        with self._lock:
+            self._results.put_payload(task_id, payload)
+            self.mark_done(task_id, worker, attempts=self.attempts(task_id))
+            self.release(task_id, worker)
+
+    def record_failure(self, task_id: str, worker: str, error: str) -> int:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is None or lease.get("worker") != worker:
+                return self.attempts(task_id)
+            data = self._failed.setdefault(task_id, {"attempts": 0, "errors": []})
+            data["errors"].append({"worker": worker, "time": time.time(), "error": str(error)})
+            data["attempts"] = int(data["attempts"]) + 1
+            self.release(task_id, worker)
+            return int(data["attempts"])
+
+    # -- results -------------------------------------------------------------------
+    def load_result(self, point: PointSpec) -> Optional[SimulationResult]:
+        return self._results.get(point)
+
+    def result_payload(self, task_id: str) -> Optional[dict]:
+        return self._results.get_payload(task_id)

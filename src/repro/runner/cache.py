@@ -26,7 +26,7 @@ from typing import Optional, Union
 from repro.runner.spec import PointSpec
 from repro.simulation.results import SimulationResult
 
-__all__ = ["ResultCache", "default_cache_dir", "write_json_atomic"]
+__all__ = ["ResultCache", "default_cache_dir", "point_key", "write_json_atomic"]
 
 #: Bump when the result schema or point semantics change: old entries miss.
 #: v2: ``replicate`` joined the point cache payload.
@@ -56,6 +56,19 @@ def write_json_atomic(path: Path, payload: dict) -> None:
     os.replace(tmp, path)
 
 
+def point_key(point: PointSpec) -> str:
+    """The host-independent cache/task key of a simulation point.
+
+    Every result store and every queue backend -- filesystem, in-memory,
+    HTTP -- addresses a point by this key, so a task id computed by a
+    dispatching client names the same work on the coordinator and the same
+    result file in a shared cache.
+    """
+    payload = {"version": CACHE_FORMAT_VERSION, "point": point.cache_payload()}
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def default_cache_dir() -> Path:
     """Resolve the cache root from the environment."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -75,9 +88,7 @@ class ResultCache:
         self.misses = 0
 
     def key(self, point: PointSpec) -> str:
-        payload = {"version": CACHE_FORMAT_VERSION, "point": point.cache_payload()}
-        canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return point_key(point)
 
     def path(self, point: PointSpec) -> Path:
         return self.root / f"{self.key(point)}.json"

@@ -1,6 +1,8 @@
 """Work-queue worker daemon.
 
-A :class:`Worker` drains a :class:`~repro.runner.queue.WorkQueue`: it
+A :class:`Worker` drains any :class:`~repro.runner.backends.base.QueueBackend`
+-- the shared-directory filesystem queue, or an HTTP coordinator reached
+with ``--backend http --url`` -- and is oblivious to the transport: it
 atomically claims one task at a time, executes the point through the same
 ``execute_point``/``to_dict`` path as :class:`~repro.runner.runner.ParallelRunner`
 (so results are bit-identical no matter which driver ran them), stores the
@@ -16,6 +18,11 @@ budget is exhausted the queue reports it as failed.
 Interruption (SIGTERM via the CLI handler, or Ctrl-C) releases the current
 lease without consuming a retry, so a killed worker's task is re-run -- not
 lost, and not double-counted -- by whoever claims it next.
+
+Transport errors and filesystem hiccups look alike here:
+:class:`urllib.error.URLError` subclasses :class:`OSError`, so the
+heartbeat thread rides out a coordinator restart exactly like a flaky
+shared mount.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.runner.queue import ClaimedTask, WorkQueue
+from repro.runner.backends.base import ClaimedTask, QueueBackend
 from repro.runner.runner import PointExecutionError, execute_point_checked
 from repro.simulation.results import SimulationResult
 
@@ -50,7 +57,7 @@ class WorkerStats:
 class _Heartbeat(threading.Thread):
     """Refreshes one task's lease until stopped."""
 
-    def __init__(self, queue: WorkQueue, task_id: str, worker_id: str, interval: float):
+    def __init__(self, queue: QueueBackend, task_id: str, worker_id: str, interval: float):
         super().__init__(name=f"heartbeat-{task_id[:8]}", daemon=True)
         self._queue = queue
         self._task_id = task_id
@@ -78,7 +85,7 @@ class Worker:
 
     def __init__(
         self,
-        queue: WorkQueue,
+        queue: QueueBackend,
         worker_id: Optional[str] = None,
         poll_interval: float = 0.5,
     ):
@@ -107,8 +114,13 @@ class Worker:
         while max_tasks is None or stats.claimed < max_tasks:
             claimed = self.queue.claim_next(self.worker_id, finished)
             if claimed is None:
+                # Drained when every task is done or failed.  The memo is the
+                # cheap local-scan check; backends that claim server-side
+                # (HTTP) never fill it, so fall back to one status probe.
                 if len(finished) >= len(self.queue.task_ids()):
-                    break  # every task is done or failed: queue drained
+                    break
+                if self.queue.status().unfinished == 0:
+                    break
                 time.sleep(self.poll_interval)
                 continue
             self._run_claimed(claimed, stats)

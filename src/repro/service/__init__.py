@@ -1,0 +1,5 @@
+"""Long-lived service mode: the HTTP sweep coordinator and its metrics."""
+
+from repro.service.coordinator import Coordinator
+
+__all__ = ["Coordinator"]

@@ -275,11 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault", dest="faults", action="append", default=[],
         metavar="KIND@TIME[:KEY=VALUE...]",
         help=(
-            "inject a fault, e.g. --fault crash@15:pe=1:duration=15 or "
-            "--fault degrade@15:pe=1:factor=0.25:duration=20 (kinds: crash, "
-            "recover, degrade, restore, disk_fail, add, remove; keys: pe, "
-            "factor, duration, restart_delay, pages; repeatable -- all "
-            "faults form one plan applied to every point)"
+            "inject a fault, e.g. --fault crash@15:pe=1:duration=15, "
+            "--fault crash@15:rack=1:duration=15 (correlated rack crash), "
+            "--fault crash@15:pe=1:surge=3 (arrival surge while down) or "
+            "--fault remove@20:pe=5:drain=true (planned zero-abort drain; "
+            "kinds: crash, recover, degrade, restore, disk_fail, add, "
+            "remove; keys: pe, factor, duration, restart_delay, pages, "
+            "rack, surge, drain; repeatable -- all faults form one plan "
+            "applied to every point)"
+        ),
+    )
+    sweep.add_argument(
+        "--replication", choices=["none", "mirror", "chained"], default=None,
+        help=(
+            "replica placement for every relation: mirror (partner PE) or "
+            "chained (chained declustering -- backups on the next decluster-"
+            "ring PE, spreading a failed PE's read load across survivors)"
         ),
     )
     _add_runner_arguments(sweep)
@@ -812,6 +823,8 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         series += " {topology}"
     if failures_entry is not None:
         series += " [{failures}]"
+    if args.replication is not None:
+        series += " {replication}"
 
     arrival_params = tuple(_parse_arrival_param(text) for text in args.arrival_params)
     if arrival == "trace":
@@ -835,6 +848,7 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
             node_classes=(node_classes_entry,),
             topologies=(topology_entry,),
             failures=(failures_entry,),
+            replication=(args.replication,),
         )
     except ValueError as exc:
         raise SystemExit(f"invalid sweep: {exc}") from None
@@ -863,6 +877,8 @@ def _build_adhoc_spec(args: argparse.Namespace) -> ScenarioSpec:
         from repro.faults.plan import failures_label
 
         axes.append(f"faults={failures_label(failures_entry)}")
+    if args.replication is not None:
+        axes.append(f"replication={args.replication}")
     from repro.experiments.dynamic import render_timeline_table
 
     return ScenarioSpec(

@@ -29,10 +29,15 @@ __all__ = [
     "ControlConfig",
     "SystemConfig",
     "MS",
+    "REPLICATION_POLICIES",
 ]
 
 #: Convenience constant: one millisecond in seconds.
 MS = 1e-3
+
+#: Replica placement policies accepted by :attr:`SystemConfig.replication`
+#: (``None`` means the paper's single-copy Shared Nothing database).
+REPLICATION_POLICIES = ("mirror", "chained")
 
 
 @dataclass(frozen=True)
@@ -392,11 +397,22 @@ class SystemConfig:
     # Fig. 4 hardware.  Empty tuple + single-rack topology = historical system.
     node_classes: Tuple[NodeClass, ...] = ()
     topology: TopologyConfig = field(default_factory=TopologyConfig)
+    # Replica placement policy for every relation: ``None`` (single-copy
+    # Shared Nothing, the paper's system), ``"mirror"`` (each fragment has a
+    # full backup on its partner PE) or ``"chained"`` (chained declustering:
+    # the backup lives on the next PE of the relation's decluster ring, so a
+    # failed PE's read load spreads across the survivors).
+    replication: Optional[str] = None
     seed: int = 42
 
     def __post_init__(self) -> None:
         if self.num_pe < 1:
             raise ValueError("num_pe must be >= 1")
+        if self.replication is not None and self.replication not in REPLICATION_POLICIES:
+            raise ValueError(
+                f"unknown replication policy {self.replication!r}; "
+                f"expected one of {REPLICATION_POLICIES} (or None)"
+            )
         if self.multiprogramming_level < 1:
             raise ValueError("multiprogramming_level must be >= 1")
         blocks: list[tuple[int, int, NodeClass]] = []
@@ -532,10 +548,11 @@ class SystemConfig:
             )
             classes = f", classes [{parts}]"
         topo = "" if self.topology.is_flat else f", {self.topology.racks} racks"
+        repl = "" if self.replication is None else f", {self.replication} replication"
         return (
             f"{self.num_pe} PE x {self.cpu.mips:g} MIPS, "
             f"{self.buffer.buffer_pages} buffer pages, "
             f"{self.disk.disks_per_pe} disks/PE, "
             f"join selectivity {self.join_query.scan_selectivity:.2%}"
-            f"{oltp}{classes}{topo}"
+            f"{oltp}{classes}{topo}{repl}"
         )

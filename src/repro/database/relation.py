@@ -54,6 +54,11 @@ class Relation:
     config: RelationConfig
     fragments: Dict[int, Fragment] = field(default_factory=dict)
     index: Optional[BTreeIndex] = None
+    # Replica placement: ``replication`` names the policy ("mirror" or
+    # "chained", ``None`` = single copy) and ``backups`` maps each primary
+    # PE to the PE holding the full backup copy of its fragment.
+    replication: Optional[str] = None
+    backups: Dict[int, int] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -93,6 +98,10 @@ class Relation:
         if matching == 0:
             return 0
         return math.ceil(matching / self.config.blocking_factor)
+
+    def backup_of(self, pe_id: int) -> Optional[int]:
+        """PE holding the backup copy of ``pe_id``'s fragment (None if none)."""
+        return self.backups.get(pe_id)
 
     def add_fragment(self, fragment: Fragment) -> None:
         """Register a fragment (one per PE)."""

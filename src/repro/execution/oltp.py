@@ -70,6 +70,25 @@ def execute_oltp_transaction(
     # Commit: force the log, then release locks (strict 2PL).
     for _ in range(profile.log_writes):
         yield from pe.disks.write_random()
+
+    # Replica maintenance: with a replicated database the updates must also
+    # be shipped to and forced at the backup copy of this node's fragment
+    # before commit (eager replication keeps failover copies current).
+    if config.replication is not None and "ACCT" in system.catalog:
+        backup_pe_id = system.catalog.relation("ACCT").backup_of(pe.pe_id)
+        if backup_pe_id is not None and backup_pe_id != pe.pe_id:
+            backup_pe = system.pes[backup_pe_id]
+            network = system.network
+            for _ in range(profile.log_writes):
+                yield from pe.cpu.consume(costs.send_message, priority=PRIORITY_OLTP)
+                yield from network.transfer(
+                    config.buffer.page_size_bytes, src=pe.pe_id, dst=backup_pe_id
+                )
+                yield from backup_pe.cpu.consume(
+                    costs.receive_message, priority=PRIORITY_OLTP
+                )
+                yield from backup_pe.disks.write_random()
+
     yield from pe.cpu.consume(costs.terminate_transaction, priority=PRIORITY_OLTP)
     pe.locks.release_all(transaction.txn_id)
 

@@ -45,12 +45,29 @@ def plan_scan(
     pe_id: int,
     selectivity: float,
     tuple_size_bytes: int,
+    fragment: Optional[Fragment] = None,
+    fraction: float = 1.0,
 ) -> ScanWork:
-    """Compute the work profile of a clustered-index scan on one fragment."""
-    fragment = relation.fragment_on(pe_id)
-    matching = fragment.matching_tuples(selectivity)
-    data_pages = fragment.matching_pages(selectivity)
+    """Compute the work profile of a clustered-index scan on one fragment.
+
+    ``fragment``/``fraction`` support replica failover: a site may scan an
+    explicit fragment copy (possibly hosted on a PE other than the fragment's
+    primary) and only a fraction of it, as under chained declustering's
+    balanced post-failure split.
+    """
+    if fragment is None:
+        fragment = relation.fragment_on(pe_id)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"scan fraction {fraction} outside (0, 1]")
     index_pages = relation.index.height if relation.index is not None else 0
+    if fraction == 1.0:
+        matching = fragment.matching_tuples(selectivity)
+        data_pages = fragment.matching_pages(selectivity)
+    else:
+        matching = round(fragment.matching_tuples(selectivity) * fraction)
+        data_pages = (
+            math.ceil(matching / fragment.blocking_factor) if matching > 0 else 0
+        )
     return ScanWork(
         fragment=fragment,
         matching_tuples=matching,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Generator, List
 
 from repro.config.parameters import InstructionCosts
-from repro.database.allocation import split_evenly
+from repro.database.allocation import failover_scan_sites, split_evenly
 from repro.engine.lock import LockMode
 from repro.engine.twopc import run_commit
 from repro.execution.operators import parop_merge_instructions, plan_scan, scan_fragment
@@ -43,6 +43,25 @@ class JoinExecutionResult:
     overflow_pages: int = 0
     temp_pages_read: int = 0
     startup_messages: int = 0
+
+
+def _scan_sites(system, relation):
+    """Scan sites ``(pe_id, fragment, fraction)`` for one relation.
+
+    Primaries serve their own fragments in full unless the system runs with
+    replication and some PE is currently dead, in which case reads fail over
+    to surviving copies (chained declustering splits the load across the
+    ring).  Falls back to the primaries when no alive copy exists -- the
+    fault runtime holds such queries before they reach execution.
+    """
+    faults = getattr(system, "faults", None)
+    if faults is not None and relation.backups:
+        dead = faults.dead_pes()
+        if dead:
+            sites = failover_scan_sites(relation, dead)
+            if sites is not None:
+                return sites
+    return [(pe_id, None, 1.0) for pe_id in relation.node_ids]
 
 
 def _control_message(sender, receiver, network, costs, priority) -> Generator:
@@ -80,17 +99,23 @@ def execute_join_query(
     # -- BOT at the coordinator.
     yield from coordinator.cpu.consume(costs.initiate_transaction, priority=priority)
 
+    # -- scan sites for both inputs (replica-aware when PEs are dead).
+    inner_sites = _scan_sites(system, inner)
+    outer_sites = _scan_sites(system, outer)
+    inner_scan_pes = sorted({pe_id for pe_id, _, _ in inner_sites})
+    outer_scan_pes = sorted({pe_id for pe_id, _, _ in outer_sites})
+
     # -- acquire relation-level shared locks at the scan nodes (strict 2PL;
     #    no conflicts with OLTP, which touches different relations).
-    for pe_id in inner.node_ids:
+    for pe_id in inner_scan_pes:
         yield system.pes[pe_id].locks.acquire(query.txn_id, inner.name, LockMode.SHARED)
-    for pe_id in outer.node_ids:
+    for pe_id in outer_scan_pes:
         yield system.pes[pe_id].locks.acquire(query.txn_id, outer.name, LockMode.SHARED)
 
     # -- start the subqueries: one control message per participating PE.
     #    The coordinator issues all sends back to back; delivery and
     #    receive-side processing proceed in parallel at the participants.
-    participants = sorted(set(inner.node_ids) | set(outer.node_ids) | set(plan.processors))
+    participants = sorted(set(inner_scan_pes) | set(outer_scan_pes) | set(plan.processors))
     remote_ids = [pe_id for pe_id in participants if pe_id != coordinator.pe_id]
     result.startup_messages = len(remote_ids)
     yield from coordinator.cpu.consume(
@@ -132,8 +157,8 @@ def execute_join_query(
                 desired_pages=max(plan.pages_per_processor, share.hash_table_pages),
                 priority=priority,
                 owner=f"join-{query.txn_id}",
-                inner_sources=len(inner.node_ids),
-                outer_sources=len(outer.node_ids),
+                inner_sources=len(inner_sites),
+                outer_sources=len(outer_sites),
                 coordinator_pe=coordinator.pe_id,
             )
         )
@@ -146,8 +171,11 @@ def execute_join_query(
         #    dataflow-pipelined redistribution into the join processors' hash
         #    builds (modelled by running scans and builds concurrently).
         building = []
-        for pe_id in inner.node_ids:
-            work = plan_scan(inner, pe_id, query.scan_selectivity, profile.tuple_size_bytes)
+        for pe_id, fragment, fraction in inner_sites:
+            work = plan_scan(
+                inner, pe_id, query.scan_selectivity, profile.tuple_size_bytes,
+                fragment=fragment, fraction=fraction,
+            )
             building.append(
                 env.process(
                     scan_fragment(
@@ -163,8 +191,11 @@ def execute_join_query(
         #    deferred join; result streams are merged at the coordinator
         #    (PAROP) as they arrive.
         probing = []
-        for pe_id in outer.node_ids:
-            work = plan_scan(outer, pe_id, query.scan_selectivity, profile.tuple_size_bytes)
+        for pe_id, fragment, fraction in outer_sites:
+            work = plan_scan(
+                outer, pe_id, query.scan_selectivity, profile.tuple_size_bytes,
+                fragment=fragment, fraction=fraction,
+            )
             probing.append(
                 env.process(
                     scan_fragment(

@@ -17,6 +17,7 @@ from repro.experiments import (
     figure8,
     figure9,
     heterogeneous,
+    replication,
     table_parameters,
 )
 from repro.experiments.base import (
@@ -49,6 +50,7 @@ __all__ = [
     "figure8",
     "figure9",
     "heterogeneous",
+    "replication",
     "table_parameters",
     "PAPER_SYSTEM_SIZES",
     "AggregatedExperimentResult",

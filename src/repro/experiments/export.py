@@ -54,6 +54,7 @@ def _window_row(window, scope: Dict[str, object], row_type: str) -> Dict[str, ob
             "mem_imbalance": round(window.mem_imbalance, 3),
             "availability": round(window.availability, 4),
             "anomaly": window.anomaly,
+            "effective_availability": round(window.effective_availability, 4),
         }
     )
     return row

@@ -19,8 +19,9 @@ exact historical code paths.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.database.allocation import failover_scan_sites
 from repro.faults.plan import FaultEvent, expand_events
 from repro.workload.query import JoinQuery, Transaction
 
@@ -63,7 +64,14 @@ class FaultRuntime:
         self.events: List[FaultEvent] = expand_events(events)
         num_pe = system.config.num_pe
         for event in self.events:
-            if event.pe >= num_pe:
+            if event.rack is not None:
+                racks = system.config.topology.racks
+                if event.rack >= racks:
+                    raise ValueError(
+                        f"fault targets rack {event.rack} but the topology has "
+                        f"{racks} rack(s)"
+                    )
+            elif event.pe >= num_pe:
                 raise ValueError(
                     f"fault targets PE {event.pe} but the system has {num_pe} PEs"
                 )
@@ -80,6 +88,16 @@ class FaultRuntime:
         self._held: List[Transaction] = []
         self._windows: List[_AnomalyWindow] = []
         self._steps: List[Tuple[float, int, int]] = []
+        self._data_steps: List[Tuple[float, float]] = []
+        # Active cascading-overload surges, keyed by the crash target so the
+        # matching recover can retract exactly its own contribution.
+        self._surges: Dict[Tuple[str, int], float] = {}
+        # PEs that ever recover in this plan; a crash of any other PE is a
+        # *permanent* loss and (under replication) triggers re-replication.
+        self._recover_pes = set()
+        for event in self.events:
+            if event.kind == "pe_recover":
+                self._recover_pes.update(self._targets(event))
         self._step(0.0)
         self._started = False
         # Counters (exposed in benchmarks / debugging).
@@ -109,6 +127,24 @@ class FaultRuntime:
         handler = getattr(self, f"_apply_{event.kind}")
         handler(event)
 
+    def _targets(self, event: FaultEvent) -> List[int]:
+        """PEs targeted by one crash/recover event (rack-scoped or single)."""
+        if event.rack is None:
+            return [event.pe]
+        num_pe = len(self.alive)
+        topology = self.system.config.topology
+        return [
+            pe_id
+            for pe_id in range(num_pe)
+            if topology.rack_of(pe_id, num_pe) == event.rack
+        ]
+
+    def dead_pes(self) -> FrozenSet[int]:
+        """PEs currently crashed (empty set when everything is alive)."""
+        return frozenset(
+            pe_id for pe_id, alive in enumerate(self.alive) if not alive
+        )
+
     # -- availability / anomaly bookkeeping -----------------------------------
     def _step(self, time: float) -> None:
         alive_joined = sum(
@@ -116,6 +152,25 @@ class FaultRuntime:
         )
         joined = sum(1 for flag in self.joined if flag)
         self._steps.append((time, alive_joined, joined))
+        self._data_steps.append((time, self._data_fraction()))
+
+    def _data_fraction(self) -> float:
+        """Fraction of database tuples with at least one alive copy *now*."""
+        dead = self.dead_pes()
+        catalog = self.system.catalog
+        total = 0
+        reachable = 0
+        for name in catalog.names:
+            relation = catalog.relation(name)
+            for pe_id, fragment in relation.fragments.items():
+                total += fragment.num_tuples
+                if pe_id not in dead:
+                    reachable += fragment.num_tuples
+                    continue
+                backup = relation.backup_of(pe_id)
+                if backup is not None and backup not in dead:
+                    reachable += fragment.num_tuples
+        return reachable / total if total else 1.0
 
     def _open_window(self, kind: str, pe: int) -> _AnomalyWindow:
         window = _AnomalyWindow(self.env.now, kind, pe)
@@ -158,6 +213,28 @@ class FaultRuntime:
         )
         return availability, "+".join(labels)
 
+    def data_availability(self, start: float, end: float) -> float:
+        """Effective availability of one window [start, end).
+
+        Time-integral of the fraction of database tuples with at least one
+        alive copy -- under replication a crashed PE costs no availability
+        as long as the backups of its fragments survive, whereas in the
+        single-copy system every crash makes its fragments unreachable.
+        """
+        numerator = 0.0
+        duration = 0.0
+        steps = self._data_steps
+        for index, (time, fraction) in enumerate(steps):
+            seg_start = time if time > start else start
+            seg_end = steps[index + 1][0] if index + 1 < len(steps) else end
+            if seg_end > end:
+                seg_end = end
+            if seg_end <= seg_start:
+                continue
+            numerator += fraction * (seg_end - seg_start)
+            duration += seg_end - seg_start
+        return numerator / duration if duration > 0 else 1.0
+
     # -- scheduling hooks ------------------------------------------------------
     def eligible_processors(self) -> Tuple[int, ...]:
         """PEs currently usable as join processors (alive and in the pool)."""
@@ -178,23 +255,47 @@ class FaultRuntime:
 
     # -- submission interception ------------------------------------------------
     def _join_pes(self, query: JoinQuery) -> set:
+        """PEs a join touches for its data, accounting for replica failover."""
         catalog = self.system.catalog
-        pes = set(catalog.relation(query.inner_relation).node_ids)
-        pes.update(catalog.relation(query.outer_relation).node_ids)
+        dead = self.dead_pes()
+        pes: set = set()
+        for name in (query.inner_relation, query.outer_relation):
+            relation = catalog.relation(name)
+            if dead and relation.backups:
+                sites = failover_scan_sites(relation, dead)
+                if sites is not None:
+                    pes.update(pe_id for pe_id, _, _ in sites)
+                    continue
+            pes.update(relation.node_ids)
         return pes
+
+    def _data_reachable(self, query: JoinQuery) -> bool:
+        """True when every fragment the join scans has an alive copy."""
+        dead = self.dead_pes()
+        if not dead:
+            return True
+        catalog = self.system.catalog
+        for name in (query.inner_relation, query.outer_relation):
+            relation = catalog.relation(name)
+            if not any(pe_id in dead for pe_id in relation.node_ids):
+                continue
+            if not relation.backups:
+                return False
+            if failover_scan_sites(relation, dead) is None:
+                return False
+        return True
 
     def on_submit(self, transaction: Transaction) -> bool:
         """Gate a routed transaction; False holds it for later resubmission.
 
         Join coordinators routed onto unusable PEs are remapped (cyclically)
-        to the next usable one; joins whose *data* PEs are down, and OLTP
-        transactions whose home PE is down, are held -- data homes are fixed
-        in a Shared Nothing system, the work can only run where the data
-        lives.
+        to the next usable one; joins whose *data* is unreachable (the home
+        PE is down and, under replication, so is every backup copy), and
+        OLTP transactions whose home PE is down, are held -- with replicas
+        the reads fail over to surviving copies instead.
         """
         if isinstance(transaction, JoinQuery):
-            data_pes = self._join_pes(transaction)
-            if any(not self.alive[pe_id] for pe_id in data_pes):
+            if not self._data_reachable(transaction):
                 self._hold(transaction)
                 return False
             coordinator = transaction.coordinator_pe
@@ -309,16 +410,36 @@ class FaultRuntime:
         self._apply_speed(event.pe)
         self._close_windows(("degrade", "disk_fail"), event.pe)
 
+    def _surge_key(self, event: FaultEvent) -> Tuple[str, int]:
+        if event.rack is not None:
+            return ("rack", event.rack)
+        return ("pe", event.pe)
+
+    def _apply_surge_scale(self) -> None:
+        """Push the product of active surges into the open-workload arrivals."""
+        scale = 1.0
+        for value in self._surges.values():
+            scale *= value
+        generator = getattr(self.system, "workload_generator", None)
+        if generator is not None:
+            generator.rate_scale = scale
+
     def _apply_pe_crash(self, event: FaultEvent) -> None:
-        pe_id = event.pe
-        self.alive[pe_id] = False
+        targets = self._targets(event)
+        for pe_id in targets:
+            self.alive[pe_id] = False
         self._step(self.env.now)
-        self._sync_status(pe_id)
-        self._open_window("pe_crash", pe_id)
+        for pe_id in targets:
+            self._sync_status(pe_id)
+            self._open_window("pe_crash", pe_id)
+        if event.surge is not None:
+            self._surges[self._surge_key(event)] = event.surge
+            self._apply_surge_scale()
+        target_set = set(targets)
         victims = sorted(
             txn_id
             for txn_id, record in self._records.items()
-            if pe_id in record.pes
+            if record.pes & target_set
         )
         restartable: List[Transaction] = []
         for txn_id in victims:
@@ -327,6 +448,36 @@ class FaultRuntime:
             restartable.append(record.txn)
         if restartable:
             self.env.process(self._resubmit_later(restartable, event.restart_delay))
+        # Permanent loss of a PE under replication: restore redundancy by
+        # copying its fragments from the surviving backups to new hosts
+        # (DynaHash-style rebalancing cost, charged to network + disks).
+        if self.system.config.replication is not None:
+            for pe_id in targets:
+                if pe_id not in self._recover_pes:
+                    self.env.process(self._re_replicate(pe_id))
+
+    def _re_replicate(self, pe_id: int):
+        """Ship the lost fragments' pages from their surviving copy."""
+        catalog = self.system.catalog
+        page_size = self.system.config.buffer.page_size_bytes
+        for name in catalog.names:
+            relation = catalog.relation(name)
+            if not relation.backups or not relation.has_fragment_on(pe_id):
+                continue
+            backup = relation.backup_of(pe_id)
+            if backup is None or not self.alive[backup]:
+                continue  # no surviving copy -- nothing to re-replicate from
+            target = self._next_eligible(backup)
+            if target is None or target == backup:
+                continue
+            pages = relation.fragment_on(pe_id).pages
+            if pages <= 0:
+                continue
+            yield from self.system.network.transfer_chain(
+                [page_size] * pages, src=backup, dst=target
+            )
+            yield from self.system.pes[target].disks.write_sequential(pages)
+            self.rebalanced_pages += pages
 
     def _kill_record(self, record: _TxnRecord) -> None:
         self.kills += 1
@@ -361,11 +512,15 @@ class FaultRuntime:
         self.track(transaction, process)
 
     def _apply_pe_recover(self, event: FaultEvent) -> None:
-        pe_id = event.pe
-        self.alive[pe_id] = True
+        targets = self._targets(event)
+        for pe_id in targets:
+            self.alive[pe_id] = True
         self._step(self.env.now)
-        self._sync_status(pe_id)
-        self._close_windows(("pe_crash",), pe_id)
+        for pe_id in targets:
+            self._sync_status(pe_id)
+            self._close_windows(("pe_crash",), pe_id)
+        if self._surges.pop(self._surge_key(event), None) is not None:
+            self._apply_surge_scale()
         self._release_held()
 
     def _release_held(self) -> None:
@@ -402,8 +557,22 @@ class FaultRuntime:
         window = self._open_window("pe_remove", pe_id)
         self.env.process(self._rebalance_out(event, window))
 
+    def _inflight_on(self, pe_id: int) -> bool:
+        """True while any registered in-flight transaction touches ``pe_id``."""
+        self._prune_registry()
+        return any(pe_id in record.pes for record in self._records.values())
+
     def _rebalance_out(self, event: FaultEvent, window: _AnomalyWindow):
-        """Drain the removed PE's partitions onto its cyclic successor."""
+        """Drain the removed PE's partitions onto its cyclic successor.
+
+        A *planned* drain (``drain=true``) waits for the PE's in-flight
+        transactions first: the pool departure already stopped new work from
+        being placed there, so polling until the registry clears gives a
+        zero-abort removal.
+        """
+        if event.drain:
+            while self._inflight_on(event.pe):
+                yield self.env.timeout(0.25)
         receiver = self._next_eligible(event.pe)
         if event.pages > 0 and receiver is not None and self.alive[event.pe]:
             page_size = self.system.config.buffer.page_size_bytes

@@ -15,7 +15,12 @@ Event kinds (:data:`FAULT_KINDS`):
     every PE) and are resubmitted after ``restart_delay`` -- or held until
     the data they scan is reachable again.  New work routed to the PE is
     redirected (joins/coordinators) or held (OLTP whose accounts live
-    there).  ``duration`` is sugar for a matching ``pe_recover``.
+    there).  ``duration`` is sugar for a matching ``pe_recover``.  With
+    ``rack=R`` the crash is correlated: every PE of topology rack ``R``
+    fails at once.  ``surge=F`` couples a cascading-overload arrival surge
+    (open-workload rates scaled by ``F`` while the crash is outstanding).
+    Under a replicated database (``SystemConfig.replication``) reads fail
+    over to surviving copies instead of holding the queries.
 ``pe_recover``
     The PE returns with cold state; held work is resubmitted.
 ``degrade`` / ``restore``
@@ -33,7 +38,10 @@ Event kinds (:data:`FAULT_KINDS`):
     window completes; ``pe_remove`` drains a PE from the pool immediately.
     Both pay an explicit repartitioning cost: ``pages`` pages are shipped
     over the (shared, contended) interconnect and written sequentially on
-    the receiving PE before the membership change settles.
+    the receiving PE before the membership change settles.  ``pe_remove``
+    with ``drain=true`` is a *planned* drain: the PE stops receiving new
+    work immediately but stays until its in-flight transactions complete
+    (zero aborts), then rebalances out.
 
 Zero-fault discipline: an empty (or ``None``) plan canonicalises to ``None``
 and constructs *nothing* -- no injector process, no extra events, no changed
@@ -120,6 +128,18 @@ class FaultEvent:
     #: ``pe_add``/``pe_remove`` only: pages repartitioned over the network
     #: and rewritten before the membership change settles.
     pages: int = 256
+    #: ``pe_crash``/``pe_recover`` only: correlated rack-scoped failure.
+    #: When set, the event targets *every* PE of topology rack ``rack``
+    #: (``pe`` is ignored) -- the PR 7 topology assigns PEs to racks.
+    rack: Optional[int] = None
+    #: ``pe_crash`` only: cascading-overload coupling.  While the crash is
+    #: outstanding the arrival rate of the open workload is multiplied by
+    #: this factor (> 1 models the retry/failover surge hitting survivors).
+    surge: Optional[float] = None
+    #: ``pe_remove`` only: planned drain.  The PE stops receiving new work
+    #: immediately but the rebalancing (and pool departure) waits until all
+    #: in-flight transactions touching it complete -- zero aborts.
+    drain: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -146,6 +166,20 @@ class FaultEvent:
             )
         if self.pages < 0:
             raise ValueError(f"rebalance pages must be >= 0, got {self.pages}")
+        if self.rack is not None:
+            if self.kind not in ("pe_crash", "pe_recover"):
+                raise ValueError(
+                    f"rack only applies to pe_crash/pe_recover, not {self.kind!r}"
+                )
+            if self.rack < 0:
+                raise ValueError(f"fault rack must be >= 0, got {self.rack}")
+        if self.surge is not None:
+            if self.kind != "pe_crash":
+                raise ValueError(f"surge only applies to pe_crash, not {self.kind!r}")
+            if not self.surge > 0:
+                raise ValueError(f"fault surge must be > 0, got {self.surge}")
+        if self.drain and self.kind != "pe_remove":
+            raise ValueError(f"drain only applies to pe_remove, not {self.kind!r}")
 
     def encode(self) -> Tuple[Tuple[str, object], ...]:
         """Full primitive encoding (every field, declaration order)."""
@@ -198,6 +232,7 @@ def expand_events(events: Sequence[FaultEvent]) -> List[FaultEvent]:
                 time=event.time + event.duration,
                 kind=_DURATION_INVERSE[event.kind],
                 pe=event.pe,
+                rack=event.rack if event.kind == "pe_crash" else None,
             )
             derived.append((inverse.time, 1, index, inverse))
     keyed.extend(derived)
@@ -214,18 +249,32 @@ def failures_label(entry: Optional[FailuresEntry]) -> str:
         attrs = dict(pairs)
         kind = str(attrs.get("kind", "?"))
         abbrev = _KIND_ABBREV.get(kind, kind)
-        pe = attrs.get("pe", 0)
         time = attrs.get("time", 0)
-        parts.append(f"{abbrev}{pe}@{float(time):g}")
+        rack = attrs.get("rack")
+        target = f"r{rack}" if rack is not None else attrs.get("pe", 0)
+        parts.append(f"{abbrev}{target}@{float(time):g}")
     return "+".join(parts)
+
+
+def _parse_flag(value: str) -> bool:
+    """Parse a boolean fault option value (``true``/``false``/``1``/``0``)."""
+    lowered = value.strip().lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise ValueError(value)
 
 
 def parse_fault(text: str) -> Tuple[Tuple[str, object], ...]:
     """Parse a CLI fault token ``KIND@TIME[:pe=N:factor=F:duration=S...]``.
 
-    Also accepts ``restart_delay=S`` and ``pages=N`` options, plus the kind
-    aliases ``crash``/``recover``/``add``/``remove``.  Returns the event's
-    canonical encoding; raises :class:`ValueError` on malformed input.
+    Also accepts ``restart_delay=S``, ``pages=N``, ``rack=R``, ``surge=F``
+    and ``drain=true`` options, plus the kind aliases ``crash``/``recover``/
+    ``add``/``remove``.  Returns the event's canonical encoding; raises
+    :class:`ValueError` naming the offending token on malformed input --
+    unknown option names, unparsable or out-of-range values, and duplicated
+    options are all rejected.
     """
     head, _, options = text.partition(":")
     kind, sep, at = head.partition("@")
@@ -244,6 +293,9 @@ def parse_fault(text: str) -> Tuple[Tuple[str, object], ...]:
         "duration": float,
         "restart_delay": float,
         "pages": int,
+        "rack": int,
+        "surge": float,
+        "drain": _parse_flag,
     }
     if options:
         for option in options.split(":"):
@@ -254,10 +306,15 @@ def parse_fault(text: str) -> Tuple[Tuple[str, object], ...]:
                     f"malformed fault option {option!r} in {text!r}; expected one "
                     f"of {sorted(converters)} as NAME=VALUE"
                 )
+            if name in values:
+                raise ValueError(f"duplicate fault option {name!r} in {text!r}")
             try:
                 values[name] = converters[name](value)
             except ValueError:
                 raise ValueError(
                     f"malformed fault option value {value!r} for {name!r} in {text!r}"
                 ) from None
-    return FaultEvent(**values).encode()
+    try:
+        return FaultEvent(**values).encode()
+    except ValueError as exc:
+        raise ValueError(f"invalid fault {text!r}: {exc}") from None

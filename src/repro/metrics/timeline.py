@@ -65,6 +65,12 @@ class TimelineWindow:
     #: overlapping this window (empty when clean).
     availability: float = 1.0
     anomaly: str = ""
+    #: Replication observability (PR 10): fraction of the *database* (tuple
+    #: weighted) with at least one alive copy over the window.  Under
+    #: replication a crash costs no effective availability while the backup
+    #: copies survive; in the single-copy system this tracks the crashed
+    #: PEs' data share.  1.0 in fault-free runs.
+    effective_availability: float = 1.0
 
     @property
     def duration(self) -> float:
@@ -234,8 +240,10 @@ class TimelineCollector:
         )
         if self._faults is not None:
             availability, anomaly = self._faults.window_stats(start, end)
+            effective_availability = self._faults.data_availability(start, end)
         else:
             availability, anomaly = 1.0, ""
+            effective_availability = 1.0
         rts = sorted(self._join_rts)
         self.windows.append(
             TimelineWindow(
@@ -262,6 +270,7 @@ class TimelineCollector:
                 class_util=class_util,
                 availability=availability,
                 anomaly=anomaly,
+                effective_availability=effective_availability,
             )
         )
         self._join_rts = []

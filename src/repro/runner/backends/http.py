@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence, Set
@@ -49,6 +51,30 @@ __all__ = ["HttpBackend"]
 #: Per-request timeout: generous enough for a coordinator busy expanding a
 #: sweep, far below any lease, so a hung request never masks a dead server.
 DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Transient-failure retry budget: a claim/heartbeat/status round trip is
+#: attempted this many times before the error surfaces.  Total added delay
+#: stays under ~1 s (see ``_RETRY_BASE_SECONDS``), far below any lease.
+RETRY_ATTEMPTS = 3
+
+#: Backoff base for attempt ``i`` (0-indexed): ``0.1 * 8**i`` seconds with
+#: +/-50% jitter -- roughly 0.1 s after the first failure, 0.8 s after the
+#: second, so two workers that lost the same coordinator don't reconnect
+#: in lockstep.
+_RETRY_BASE_SECONDS = 0.1
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Whether a transport failure is worth retrying.
+
+    Retry covers a restarting or briefly overloaded coordinator: connection
+    resets and refusals (``URLError``/``OSError``), plus the proxy-shaped
+    502/503 responses.  Any other HTTP status is the server *answering* --
+    a 4xx means the request itself is wrong and retrying cannot help.
+    """
+    if isinstance(exc, urllib.error.HTTPError):
+        return exc.code in (502, 503)
+    return isinstance(exc, OSError)  # URLError subclasses OSError
 
 
 class _RemoteResults:
@@ -116,28 +142,51 @@ class HttpBackend(QueueBackend):
     def _call(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> Optional[dict]:
-        """One JSON round trip; 404 reads as ``None``, other errors raise."""
+        """One JSON round trip; 404 reads as ``None``, other errors raise.
+
+        Transient failures (connection reset/refused, HTTP 502/503) are
+        retried up to :data:`RETRY_ATTEMPTS` times with jittered backoff;
+        other 4xx/5xx statuses stay fatal on the first response.
+        """
         request = urllib.request.Request(
             self.base_url + path,
             data=None if payload is None else json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
             method=method,
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.request_timeout) as response:
-                body = response.read()
-        except urllib.error.HTTPError as exc:
-            if exc.code == 404:
-                return None
-            detail = ""
+        for attempt in range(RETRY_ATTEMPTS):
             try:
-                detail = exc.read().decode("utf-8", "replace")
+                with urllib.request.urlopen(
+                    request, timeout=self.request_timeout
+                ) as response:
+                    body = response.read()
+            except urllib.error.HTTPError as exc:
+                if exc.code == 404:
+                    return None
+                if _retryable(exc) and attempt + 1 < RETRY_ATTEMPTS:
+                    self._backoff(attempt)
+                    continue
+                detail = ""
+                try:
+                    detail = exc.read().decode("utf-8", "replace")
+                except OSError:
+                    pass
+                raise urllib.error.URLError(
+                    f"coordinator {self.base_url}{path} returned {exc.code}: {detail}"
+                ) from exc
             except OSError:
-                pass
-            raise urllib.error.URLError(
-                f"coordinator {self.base_url}{path} returned {exc.code}: {detail}"
-            ) from exc
-        return json.loads(body.decode("utf-8")) if body else None
+                # URLError (connection refused/reset, DNS) subclasses OSError.
+                if attempt + 1 < RETRY_ATTEMPTS:
+                    self._backoff(attempt)
+                    continue
+                raise
+            return json.loads(body.decode("utf-8")) if body else None
+        raise AssertionError("unreachable: retry loop exits by return or raise")
+
+    @staticmethod
+    def _backoff(attempt: int) -> None:
+        base = _RETRY_BASE_SECONDS * (8**attempt)
+        time.sleep(base * (0.5 + random.random()))
 
     def _get(self, path: str) -> Optional[dict]:
         return self._call("GET", path)

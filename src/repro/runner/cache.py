@@ -39,7 +39,10 @@ __all__ = ["ResultCache", "default_cache_dir", "point_key", "write_json_atomic"]
 #: v5: fault injection -- the ``failures`` fault-plan axis joined the
 #: payload (canonicalised to ``None`` on fault-free points), and timeline
 #: windows carry per-window ``availability``/``anomaly`` fields.
-CACHE_FORMAT_VERSION = 5
+#: v6: replication & failover -- the ``replication`` axis joined the payload
+#: (canonicalised to ``None`` on single-copy points), and timeline windows
+#: carry a per-window ``effective_availability`` field.
+CACHE_FORMAT_VERSION = 6
 
 
 def write_json_atomic(path: Path, payload: dict) -> None:

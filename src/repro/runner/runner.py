@@ -134,6 +134,8 @@ def _apply_hardware_axes(config, point: PointSpec):
         )
     if point.topology is not None:
         updates["topology"] = TopologyConfig(**dict(point.topology))
+    if point.replication is not None:
+        updates["replication"] = point.replication
     return config.with_overrides(**updates) if updates else config
 
 

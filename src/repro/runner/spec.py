@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.config.parameters import NodeClass, TopologyConfig
+from repro.config.parameters import REPLICATION_POLICIES, NodeClass, TopologyConfig
 from repro.faults.plan import (
     FailuresEntry,
     canonical_failures as _canonical_failures,
@@ -107,6 +107,23 @@ def _canonical_topology(entry) -> Optional[TopologyEntry]:
     if TopologyConfig(**dict(normalized)).is_flat:
         return None
     return normalized
+
+
+def _canonical_replication(entry) -> Optional[str]:
+    """Normalise a replication axis entry; ``None`` for the single-copy
+    database ("none" canonicalises to ``None``, so explicitly-unreplicated
+    points share the historical points' seeds and cache keys)."""
+    if entry is None:
+        return None
+    policy = str(entry)
+    if policy == "none":
+        return None
+    if policy not in REPLICATION_POLICIES:
+        raise ValueError(
+            f"unknown replication policy {entry!r}; expected one of "
+            f"{('none',) + REPLICATION_POLICIES}"
+        )
+    return policy
 
 
 def _nodes_label(entry: Optional[NodeClassesEntry]) -> str:
@@ -205,6 +222,10 @@ class Sweep:
     #: ``None`` at expansion, so they produce the historical points
     #: unchanged (same seeds, same cache keys, byte-identical outputs).
     failures: Tuple[Optional[FailuresEntry], ...] = (None,)
+    #: Replica-placement axis: ``None``/"none" (single copy, canonicalised to
+    #: ``None`` at expansion -- same seeds, same cache keys, byte-identical
+    #: outputs as the historical points), "mirror" or "chained".
+    replication: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -269,6 +290,8 @@ class Sweep:
             # Decoding constructs the FaultEvents, validating kinds/values at
             # declaration time, not in a worker.
             _canonical_failures(entry)
+        for entry in self.replication:
+            _canonical_replication(entry)
         for axis, fraction in self.perturb:
             if axis not in PERTURBABLE_AXES:
                 raise ValueError(
@@ -385,6 +408,8 @@ class PointSpec:
     #: Canonical fault plan of the point (``None`` = fault-free; see
     #: :data:`~repro.faults.plan.FailuresEntry`).
     failures: Optional[FailuresEntry] = None
+    #: Canonical replica-placement policy (``None`` = single copy).
+    replication: Optional[str] = None
 
     def cache_payload(self) -> Tuple[Tuple[str, object], ...]:
         """The (key, value) pairs that determine this point's result."""
@@ -410,6 +435,7 @@ class PointSpec:
             ("node_classes", self.node_classes),
             ("topology", self.topology),
             ("failures", self.failures),
+            ("replication", self.replication),
         )
 
 
@@ -539,6 +565,7 @@ def _point_seed(
     node_classes: Optional[NodeClassesEntry] = None,
     topology: Optional[TopologyEntry] = None,
     failures: Optional[FailuresEntry] = None,
+    replication: Optional[str] = None,
 ) -> int:
     """Seed for one point: base seed, or a collision-free derived seed.
 
@@ -571,6 +598,8 @@ def _point_seed(
         components.extend([node_classes, topology])
     if failures is not None:
         components.append(failures)
+    if replication is not None:
+        components.append(replication)
     return derive_seed(spec.seed, *components)
 
 
@@ -664,11 +693,13 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                 _canonical_node_classes(raw_classes),
                 _canonical_topology(raw_topology),
                 _canonical_failures(raw_failures),
+                _canonical_replication(raw_replication),
             )
             for arrival in sweep.arrivals
             for raw_classes in sweep.node_classes
             for raw_topology in sweep.topologies
             for raw_failures in sweep.failures
+            for raw_replication in sweep.replication
         ]
         for num_pe in sweep.system_sizes:
             for selectivity in sweep.selectivities:
@@ -679,6 +710,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                             node_classes_entry,
                             topology_entry,
                             failures_entry,
+                            replication_entry,
                         ) in workload_axes:
                             for member in inner:
                                 strategy = None
@@ -707,6 +739,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                     nodes=_nodes_label(node_classes_entry),
                                     topology=_topology_label(topology_entry),
                                     failures=_failures_label(failures_entry),
+                                    replication=replication_entry or "none",
                                 )
                                 if sweep.num_queries is not None:
                                     num_queries = sweep.num_queries
@@ -741,6 +774,8 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                         )
                                     if failures_entry is not None:
                                         coordinates += (failures_entry,)
+                                    if replication_entry is not None:
+                                        coordinates += (replication_entry,)
                                     seed = _point_seed(
                                         spec,
                                         sweep,
@@ -755,6 +790,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                         node_classes=node_classes_entry,
                                         topology=topology_entry,
                                         failures=failures_entry,
+                                        replication=replication_entry,
                                     )
                                     point_rate, point_selectivity = _perturbed_axes(
                                         spec,
@@ -807,6 +843,7 @@ def expand(spec: ScenarioSpec) -> Tuple[PointSpec, ...]:
                                             node_classes=node_classes_entry,
                                             topology=topology_entry,
                                             failures=failures_entry,
+                                            replication=replication_entry,
                                         )
                                     )
     return tuple(points)

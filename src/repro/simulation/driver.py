@@ -66,6 +66,7 @@ class SimulationDriver:
         if spec is None:
             spec = WorkloadSpec.for_config(self.config)
         generator = WorkloadGenerator(self.env, spec, self.system.submit)
+        self.system.workload_generator = generator
         self.system.start()
         generator.start()
 
@@ -111,7 +112,9 @@ class SimulationDriver:
         if trace is not None:
             TraceReplayer(self.env, spec, trace, self.system.submit).start()
         else:
-            WorkloadGenerator(self.env, spec, self.system.submit).start()
+            generator = WorkloadGenerator(self.env, spec, self.system.submit)
+            self.system.workload_generator = generator
+            generator.start()
         self.system.metrics.start_measurement(self.system.pes)
         collector = TimelineCollector(
             self.env, self.system.pes, timeline_window, faults=self.system.faults

@@ -90,6 +90,10 @@ class ParallelSystem:
         )
         self._oltp_rng = random.Random(config.seed + 3)
 
+        # The driver's open-workload generator registers itself here so the
+        # fault injector can couple arrival surges to crashes.
+        self.workload_generator = None
+
         # Fault injection (PR 8).  ``faults`` is a sequence of FaultEvent
         # records; an empty/None plan constructs nothing at all so that
         # fault-free runs stay byte-identical to the historical goldens.

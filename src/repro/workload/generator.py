@@ -173,6 +173,11 @@ class WorkloadGenerator:
         self.spec = spec
         self.submit = submit
         self.generated: dict[str, int] = {cls.name: 0 for cls in spec.classes}
+        #: Multiplier on every class's arrival rate, adjusted at runtime by
+        #: the fault injector's cascading-overload (surge) coupling.  At the
+        #: default 1.0 the sampled delays pass through untouched, keeping the
+        #: per-class RNG streams byte-identical to surge-free runs.
+        self.rate_scale = 1.0
         self._processes = []
 
     def start(self) -> None:
@@ -191,6 +196,8 @@ class WorkloadGenerator:
             delay = workload_class.interarrival(rng, self.env.now)
             if delay == float("inf"):
                 return  # exhausted (e.g. a finite trace) or rate dropped to 0
+            if self.rate_scale != 1.0:
+                delay /= self.rate_scale
             yield self.env.timeout(delay)
             transaction = workload_class.factory()
             transaction.arrival_time = self.env.now

@@ -262,3 +262,105 @@ def test_make_backend_resolves_targets(tmp_path):
         assert http.lease_seconds == 7.5  # agreed with the server, not the CLI
     finally:
         coordinator.stop()
+
+
+# -- HTTP transport retries --------------------------------------------------------
+class _FakeHttpResponse:
+    def __init__(self, payload):
+        import json as _json
+
+        self._body = _json.dumps(payload).encode("utf-8")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def read(self):
+        return self._body
+
+
+def _scripted_backend(monkeypatch, script):
+    """An HttpBackend whose transport replays ``script`` per non-config call.
+
+    ``script`` entries are exceptions (raised) or payload dicts (returned);
+    ``GET /config`` is always answered so construction succeeds.  Returns
+    (backend, calls, sleeps) where ``calls`` counts non-config round trips
+    and ``sleeps`` records every backoff duration (real sleeping disabled).
+    """
+    import urllib.request
+
+    calls = []
+    sleeps = []
+
+    def fake_urlopen(request, timeout=None):
+        if request.full_url.endswith("/config"):
+            return _FakeHttpResponse({"lease_seconds": 60.0, "max_attempts": 3})
+        calls.append(request.full_url)
+        action = script.pop(0)
+        if isinstance(action, BaseException):
+            raise action
+        return _FakeHttpResponse(action)
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    monkeypatch.setattr(time, "sleep", lambda seconds: sleeps.append(seconds))
+    return HttpBackend("http://fake-coordinator:0"), calls, sleeps
+
+
+def _http_error(code):
+    import io
+    import urllib.error
+
+    return urllib.error.HTTPError("http://fake", code, "err", {}, io.BytesIO(b""))
+
+
+def test_http_retries_connection_resets_with_backoff(monkeypatch):
+    import urllib.error
+
+    script = [
+        urllib.error.URLError(ConnectionResetError("reset")),
+        urllib.error.URLError(ConnectionResetError("reset")),
+        {"ok": True},
+    ]
+    backend, calls, sleeps = _scripted_backend(monkeypatch, script)
+    assert backend.heartbeat("t1", "w1") is True
+    assert len(calls) == 3
+    # Jittered exponential backoff: ~0.1 s then ~0.8 s (each +/-50%).
+    assert len(sleeps) == 2
+    assert 0.05 <= sleeps[0] <= 0.15
+    assert 0.4 <= sleeps[1] <= 1.2
+
+
+def test_http_retries_502_and_503(monkeypatch):
+    script = [_http_error(502), _http_error(503), {"attempts": 2}]
+    backend, calls, sleeps = _scripted_backend(monkeypatch, script)
+    assert backend.record_failure("t1", "w1", "boom") == 2
+    assert len(calls) == 3
+    assert len(sleeps) == 2
+
+
+def test_http_4xx_is_fatal_without_retry(monkeypatch):
+    import urllib.error
+
+    script = [_http_error(400)]
+    backend, calls, sleeps = _scripted_backend(monkeypatch, script)
+    with pytest.raises(urllib.error.URLError, match="returned 400"):
+        backend.heartbeat("t1", "w1")
+    assert len(calls) == 1  # no second attempt
+    assert sleeps == []
+
+
+def test_http_persistent_failure_raises_after_three_attempts(monkeypatch):
+    import urllib.error
+
+    script = [
+        urllib.error.URLError("refused"),
+        urllib.error.URLError("refused"),
+        urllib.error.URLError("refused"),
+    ]
+    backend, calls, sleeps = _scripted_backend(monkeypatch, script)
+    with pytest.raises(urllib.error.URLError):
+        backend.heartbeat("t1", "w1")
+    assert len(calls) == 3
+    assert len(sleeps) == 2

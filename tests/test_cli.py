@@ -354,3 +354,21 @@ def test_distributed_experiment_times_out_without_workers(tmp_path):
     with pytest.raises(SystemExit, match="timed out"):
         main(["experiment", *DISTRIBUTED_ARGS, "--distributed",
               "--queue-dir", str(tmp_path / "queue"), "--queue-timeout", "0.2"])
+
+
+def test_sweep_fault_token_errors_are_strict_and_name_the_token():
+    # Unknown key, duplicate key and out-of-range values all exit with a
+    # message carrying the offending --fault token verbatim.
+    for token, fragment in [
+        ("crash@5:wat=1", "wat=1"),
+        ("crash@5:pe=1:pe=2", "duplicate fault option 'pe'"),
+        ("crash@-5:pe=1", "time must be >= 0"),
+        ("crash@5:pe=1:duration=-1", "duration must be > 0"),
+        ("crash@5:pe=1:drain=true", "drain only applies to pe_remove"),
+    ]:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--strategies", "OPT-IO-CPU", "--sizes", "8",
+                  "--joins", "2", "--fault", token])
+        message = str(excinfo.value)
+        assert f"invalid --fault {token!r}" in message
+        assert fragment in message

@@ -76,6 +76,44 @@ def test_parse_fault_aliases_and_keys():
             parse_fault(bad)
 
 
+def test_parse_fault_rack_surge_drain_keys():
+    assert parse_fault("crash@15:rack=1:duration=15") == FaultEvent(
+        time=15.0, kind="pe_crash", rack=1, duration=15.0
+    ).encode()
+    assert parse_fault("crash@15:pe=1:surge=3") == FaultEvent(
+        time=15.0, kind="pe_crash", pe=1, surge=3.0
+    ).encode()
+    assert parse_fault("remove@20:pe=5:drain=true") == FaultEvent(
+        time=20.0, kind="pe_remove", pe=5, drain=True
+    ).encode()
+    assert parse_fault("remove@20:pe=5:drain=no") == FaultEvent(
+        time=20.0, kind="pe_remove", pe=5, drain=False
+    ).encode()
+
+
+def test_parse_fault_is_strict_and_names_the_offending_token():
+    # Unknown keys name themselves and the full token.
+    with pytest.raises(ValueError, match=r"malformed fault option 'wat=1'"):
+        parse_fault("crash@5:wat=1")
+    # Duplicate keys are rejected, naming the key and the token.
+    with pytest.raises(ValueError, match=r"duplicate fault option 'pe'.*crash@5:pe=1:pe=2"):
+        parse_fault("crash@5:pe=1:pe=2")
+    # Negative time / duration / restart_delay are rejected with the token.
+    with pytest.raises(ValueError, match=r"invalid fault 'crash@-5:pe=1'"):
+        parse_fault("crash@-5:pe=1")
+    with pytest.raises(ValueError, match=r"invalid fault 'crash@5:pe=1:duration=-1'"):
+        parse_fault("crash@5:pe=1:duration=-1")
+    with pytest.raises(ValueError, match=r"restart_delay"):
+        parse_fault("remove@5:pe=1:restart_delay=-2")
+    # Keys only valid for specific kinds stay rejected through the parser.
+    with pytest.raises(ValueError, match=r"invalid fault 'degrade@5:pe=1:surge=2'"):
+        parse_fault("degrade@5:pe=1:surge=2")
+    with pytest.raises(ValueError, match=r"drain"):
+        parse_fault("crash@5:pe=1:drain=true")
+    with pytest.raises(ValueError, match=r"drain"):
+        parse_fault("remove@5:pe=1:drain=maybe")
+
+
 def test_duration_sugar_expands_to_inverse_events():
     declared = (FaultEvent(time=15.0, kind="pe_crash", pe=1, duration=15.0),)
     expanded = expand_events(declared)
